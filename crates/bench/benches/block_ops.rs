@@ -1,0 +1,54 @@
+//! Throughput of the Cut & Paste machinery: `StP` and `PtS` on realization
+//! blocks recorded from real processes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dispersion_core::block::{parallel_to_sequential, sequential_to_parallel, Block};
+use dispersion_core::process::parallel::run_parallel;
+use dispersion_core::process::sequential::run_sequential;
+use dispersion_core::process::ProcessConfig;
+use dispersion_graphs::generators::{complete, cycle};
+use dispersion_sim::rng::Xoshiro256pp;
+use std::hint::black_box;
+
+fn recorded_blocks() -> (Block, Block) {
+    let g = complete(128);
+    let cfg = ProcessConfig::simple().recording();
+    let mut rng = Xoshiro256pp::new(3);
+    let seq = run_sequential(&g, 0, &cfg, &mut rng).block.unwrap();
+    let par = run_parallel(&g, 0, &cfg, &mut rng).block.unwrap();
+    (seq, par)
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let (seq, par) = recorded_blocks();
+    c.bench_function("block/StP/clique128", |b| {
+        b.iter(|| black_box(sequential_to_parallel(&seq)));
+    });
+    c.bench_function("block/PtS/clique128", |b| {
+        b.iter(|| black_box(parallel_to_sequential(&par)));
+    });
+    c.bench_function("block/roundtrip/clique128", |b| {
+        b.iter(|| black_box(parallel_to_sequential(&sequential_to_parallel(&seq))));
+    });
+}
+
+fn bench_long_rows(c: &mut Criterion) {
+    // the cycle produces few, very long rows — the opposite block shape
+    let g = cycle(64);
+    let cfg = ProcessConfig::simple().recording();
+    let mut rng = Xoshiro256pp::new(4);
+    let seq = run_sequential(&g, 0, &cfg, &mut rng).block.unwrap();
+    c.bench_function("block/StP/cycle64-long-rows", |b| {
+        b.iter(|| black_box(sequential_to_parallel(&seq)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_transforms, bench_long_rows
+}
+criterion_main!(benches);

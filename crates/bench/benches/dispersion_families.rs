@@ -1,0 +1,80 @@
+//! Criterion timings of one dispersion-process realization per Table 1
+//! family — the cost of regenerating each table row scales linearly in
+//! these numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dispersion_core::process::continuous::run_ctu;
+use dispersion_core::process::parallel::run_parallel;
+use dispersion_core::process::sequential::run_sequential;
+use dispersion_core::process::uniform::run_uniform;
+use dispersion_core::process::ProcessConfig;
+use dispersion_graphs::families::Family;
+use dispersion_sim::rng::Xoshiro256pp;
+use std::hint::black_box;
+
+fn bench_processes(c: &mut Criterion) {
+    let cfg = ProcessConfig::simple();
+    let mut grng = Xoshiro256pp::new(1);
+
+    let mut group = c.benchmark_group("dispersion");
+    for family in [
+        Family::Complete,
+        Family::Hypercube,
+        Family::Cycle,
+        Family::BinaryTree,
+        Family::Torus3d,
+        Family::RandomRegular(5),
+    ] {
+        let size = if matches!(family, Family::Cycle) { 64 } else { 256 };
+        let inst = family.instance(size, &mut grng);
+        let g = inst.graph.clone();
+        let origin = inst.origin;
+
+        group.bench_function(format!("seq/{}", inst.label), |b| {
+            let mut rng = Xoshiro256pp::new(7);
+            b.iter(|| black_box(run_sequential(&g, origin, &cfg, &mut rng).dispersion_time));
+        });
+        group.bench_function(format!("par/{}", inst.label), |b| {
+            let mut rng = Xoshiro256pp::new(8);
+            b.iter(|| black_box(run_parallel(&g, origin, &cfg, &mut rng).dispersion_time));
+        });
+    }
+    group.finish();
+
+    // uniform & CTU on the clique only (tick overhead dominates elsewhere)
+    let clique = Family::Complete.instance(256, &mut grng);
+    c.bench_function("unif/clique", |b| {
+        let mut rng = Xoshiro256pp::new(9);
+        b.iter(|| black_box(run_uniform(&clique.graph, clique.origin, &cfg, &mut rng).settle_tick));
+    });
+    c.bench_function("ctu/clique", |b| {
+        let mut rng = Xoshiro256pp::new(10);
+        b.iter(|| black_box(run_ctu(&clique.graph, clique.origin, &cfg, &mut rng).settle_time));
+    });
+}
+
+fn bench_recording_overhead(c: &mut Criterion) {
+    // ablation: trajectory recording cost (needed only for Cut & Paste work)
+    let mut grng = Xoshiro256pp::new(2);
+    let inst = Family::Complete.instance(256, &mut grng);
+    let plain = ProcessConfig::simple();
+    let rec = ProcessConfig::simple().recording();
+    c.bench_function("seq/clique/plain", |b| {
+        let mut rng = Xoshiro256pp::new(11);
+        b.iter(|| black_box(run_sequential(&inst.graph, inst.origin, &plain, &mut rng).total_steps));
+    });
+    c.bench_function("seq/clique/recorded", |b| {
+        let mut rng = Xoshiro256pp::new(11);
+        b.iter(|| black_box(run_sequential(&inst.graph, inst.origin, &rec, &mut rng).total_steps));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_processes, bench_recording_overhead
+}
+criterion_main!(benches);

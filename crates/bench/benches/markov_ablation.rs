@@ -1,0 +1,45 @@
+//! Ablation (DESIGN.md §5): all-pairs hitting times via the fundamental
+//! matrix (one `O(n³)` inverse) against `n` single-target solves, plus
+//! exact-vs-spectral mixing-time estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dispersion_graphs::generators::{cycle, hypercube};
+use dispersion_markov::hitting::{all_pairs_hitting, hitting_times_to_set};
+use dispersion_markov::mixing::{mixing_time, mixing_time_bounds};
+use dispersion_markov::transition::WalkKind;
+use std::hint::black_box;
+
+fn bench_hitting(c: &mut Criterion) {
+    let g = hypercube(6); // n = 64
+    c.bench_function("hitting/fundamental-matrix/n=64", |b| {
+        b.iter(|| black_box(all_pairs_hitting(&g, WalkKind::Simple)));
+    });
+    c.bench_function("hitting/per-target-solves/n=64", |b| {
+        b.iter(|| {
+            // one column of the all-pairs matrix per solve
+            for v in g.vertices() {
+                black_box(hitting_times_to_set(&g, WalkKind::Simple, &[v]));
+            }
+        });
+    });
+}
+
+fn bench_mixing(c: &mut Criterion) {
+    let g = cycle(48);
+    c.bench_function("mixing/exact-tv/cycle48", |b| {
+        b.iter(|| black_box(mixing_time(&g, WalkKind::Lazy, 0.25, 1 << 20)));
+    });
+    c.bench_function("mixing/spectral-bound/cycle48", |b| {
+        b.iter(|| black_box(mixing_time_bounds(&g, WalkKind::Lazy, 0.25)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_hitting, bench_mixing
+}
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Minimal command-line options shared by the experiment binaries.
+//!
+//! Flags (all optional):
+//! `--trials K`, `--seed S`, `--threads T`, `--sizes a,b,c`, `--csv`,
+//! plus free positional arguments interpreted by each binary.
+
+use dispersion_sim::default_threads;
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Monte-Carlo trials per data point.
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Instance sizes to sweep (`--sizes 32,64,128`).
+    pub sizes: Vec<usize>,
+    /// Emit CSV instead of an aligned text table.
+    pub csv: bool,
+    /// Positional (non-flag) arguments.
+    pub positional: Vec<String>,
+}
+
+impl Options {
+    /// Defaults: 100 trials, seed 1, all cores, no sizes override.
+    pub fn defaults() -> Self {
+        Options {
+            trials: 100,
+            seed: 1,
+            threads: default_threads(),
+            sizes: Vec::new(),
+            csv: false,
+            positional: Vec::new(),
+        }
+    }
+
+    /// Parses `std::env::args().skip(1)`-style iterators.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage hint) on malformed flag values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = Options::defaults();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--trials" => opts.trials = expect_num(&mut it, "--trials"),
+                "--seed" => opts.seed = expect_num(&mut it, "--seed"),
+                "--threads" => opts.threads = expect_num(&mut it, "--threads"),
+                "--sizes" => {
+                    let v = it.next().unwrap_or_else(|| panic!("--sizes needs a value"));
+                    opts.sizes = v
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse()
+                                .unwrap_or_else(|_| panic!("bad size {s:?} in --sizes"))
+                        })
+                        .collect();
+                }
+                "--csv" => opts.csv = true,
+                _ => opts.positional.push(arg),
+            }
+        }
+        opts
+    }
+
+    /// Parses the real process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The sizes to use, falling back to `default` when `--sizes` was not
+    /// given.
+    pub fn sizes_or(&self, default: &[usize]) -> Vec<usize> {
+        if self.sizes.is_empty() {
+            default.to_vec()
+        } else {
+            self.sizes.clone()
+        }
+    }
+}
+
+fn expect_num<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, flag: &str) -> T {
+    it.next()
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag} needs a numeric value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Options {
+        Options::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_args() {
+        let o = parse(&[]);
+        assert_eq!(o.trials, 100);
+        assert_eq!(o.seed, 1);
+        assert!(o.sizes.is_empty());
+        assert!(!o.csv);
+    }
+
+    #[test]
+    fn parses_flags_and_positional() {
+        let o = parse(&["cycle", "--trials", "50", "--seed", "9", "--sizes", "8,16,32", "--csv"]);
+        assert_eq!(o.positional, vec!["cycle"]);
+        assert_eq!(o.trials, 50);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.sizes, vec![8, 16, 32]);
+        assert!(o.csv);
+    }
+
+    #[test]
+    fn sizes_fallback() {
+        let o = parse(&[]);
+        assert_eq!(o.sizes_or(&[4, 8]), vec![4, 8]);
+        let o = parse(&["--sizes", "64"]);
+        assert_eq!(o.sizes_or(&[4, 8]), vec![64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--trials needs a")]
+    fn missing_value_panics() {
+        let _ = parse(&["--trials"]);
+    }
+}

@@ -1,0 +1,92 @@
+//! E13/E14/E19: the general bounds of Section 3 against measured dispersion
+//! times —
+//! * Theorem 3.1: `Pr[τ_par > 6·t_hit·log₂ n] ≤ n⁻²` and
+//!   `t_par = O(t_hit log n)`,
+//! * Theorems 3.3/3.5: refined set-hitting upper bounds,
+//! * Theorem 3.6: `t_seq = Ω(|E|/Δ)`; Theorem 3.7: trees `≥ 2n−3`,
+//! * Proposition 3.9: `t_seq = Ω(t_mix)` (lazy).
+//!
+//! ```text
+//! cargo run -p dispersion-bench --release --bin bound_checks -- [--trials 200]
+//! ```
+
+use dispersion_bench::Options;
+use dispersion_bounds::lower::{prop39_mixing_lower, thm36_edges_over_maxdeg, thm37_tree_lower};
+use dispersion_bounds::upper::{thm31_whp_threshold, thm33_spectral, thm35_spectral};
+use dispersion_core::process::ProcessConfig;
+use dispersion_graphs::families::Family;
+use dispersion_graphs::traversal::is_tree;
+use dispersion_sim::experiment::{dispersion_samples, Process};
+use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::table::{fmt_f, TextTable};
+use dispersion_markov::transition::WalkKind;
+
+fn main() {
+    let opts = Options::from_env();
+    let n = opts.sizes_or(&[128])[0];
+    let families = [
+        Family::Complete,
+        Family::Cycle,
+        Family::Hypercube,
+        Family::BinaryTree,
+        Family::Star,
+        Family::Torus2d,
+    ];
+
+    println!("# Section 3 bound checks (n ≈ {n}, trials = {})\n", opts.trials);
+    println!("## Upper bounds (simple walks for Thm 3.1; lazy for Thm 3.3/3.5)");
+    let mut up = TextTable::new([
+        "family", "E[τ_par]", "thm3.1 whp", "exceed%", "max τ_par", "thm3.3(lazy)", "thm3.5(lazy)",
+    ]);
+    let cfg = ProcessConfig::simple();
+    let lazy = ProcessConfig::lazy();
+    for (k, family) in families.iter().enumerate() {
+        let mut grng = Xoshiro256pp::new(opts.seed ^ (k as u64) << 3);
+        let inst = family.instance(n, &mut grng);
+        let g = &inst.graph;
+        let s0 = opts.seed + 31 * k as u64;
+        let par = dispersion_samples(g, inst.origin, Process::Parallel, &cfg, opts.trials, opts.threads, s0);
+        let par_lazy = dispersion_samples(g, inst.origin, Process::Parallel, &lazy, opts.trials, opts.threads, s0 + 1);
+        let threshold = thm31_whp_threshold(g, WalkKind::Simple);
+        let exceed = par.iter().filter(|&&x| x > threshold).count() as f64 / par.len() as f64;
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let maxv = par_lazy.iter().copied().fold(0.0f64, f64::max);
+        up.push_row([
+            inst.label.to_string(),
+            fmt_f(mean(&par)),
+            fmt_f(threshold),
+            fmt_f(100.0 * exceed),
+            fmt_f(maxv),
+            fmt_f(thm33_spectral(g)),
+            fmt_f(thm35_spectral(g)),
+        ]);
+    }
+    print!("{}", if opts.csv { up.to_csv() } else { up.render() });
+    println!("\n(exceed% should be ~0; thm3.3/3.5 columns must dominate 'max τ_par' of the lazy runs)");
+
+    println!("\n## Lower bounds (Thm 3.6 / Thm 3.7 / Prop 3.9)");
+    let mut lo = TextTable::new([
+        "family", "E[τ_seq]", "|E|/Δ", "tree 2n-3", "t_mix(lazy)", "E[τ_seq,lazy]",
+    ]);
+    for (k, family) in families.iter().enumerate() {
+        let mut grng = Xoshiro256pp::new(opts.seed ^ (k as u64) << 5);
+        let inst = family.instance(n, &mut grng);
+        let g = &inst.graph;
+        let s0 = opts.seed + 77 * k as u64;
+        let seq = dispersion_samples(g, inst.origin, Process::Sequential, &cfg, opts.trials, opts.threads, s0);
+        let seq_lazy = dispersion_samples(g, inst.origin, Process::Sequential, &lazy, opts.trials, opts.threads, s0 + 1);
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let tree_bound = if is_tree(g) { fmt_f(thm37_tree_lower(g)) } else { "-".into() };
+        lo.push_row([
+            inst.label.to_string(),
+            fmt_f(mean(&seq)),
+            fmt_f(thm36_edges_over_maxdeg(g)),
+            tree_bound,
+            fmt_f(prop39_mixing_lower(g)),
+            fmt_f(mean(&seq_lazy)),
+        ]);
+    }
+    print!("{}", if opts.csv { lo.to_csv() } else { lo.render() });
+    println!("\n(E[τ_seq] must dominate |E|/Δ up to a constant; trees must exceed 2n−3;");
+    println!(" E[τ_seq,lazy] must dominate t_mix up to a constant — Prop 3.9)");
+}

@@ -1,0 +1,41 @@
+//! E12: Theorem 4.8 — the continuous-time Uniform IDLA dispersion time
+//! equals the Parallel-IDLA dispersion time up to `1 + o(1)`.
+//!
+//! ```text
+//! cargo run -p dispersion-bench --release --bin ctu_vs_parallel -- [--trials 200]
+//! ```
+
+use dispersion_bench::Options;
+use dispersion_core::process::ProcessConfig;
+use dispersion_graphs::families::Family;
+use dispersion_sim::experiment::{estimate_dispersion, Process};
+use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::table::{fmt_f, TextTable};
+
+fn main() {
+    let opts = Options::from_env();
+    let sizes = opts.sizes_or(&[64, 128, 256, 512]);
+    let families = [Family::Complete, Family::Hypercube, Family::RandomRegular(5)];
+    let cfg = ProcessConfig::simple();
+
+    println!("# Theorem 4.8: τ_ctu / τ_par → 1\n");
+    let mut t = TextTable::new(["family", "n", "E[τ_ctu]", "E[τ_par]", "ratio"]);
+    for (fk, family) in families.iter().enumerate() {
+        for (k, &n) in sizes.iter().enumerate() {
+            let mut grng = Xoshiro256pp::new(opts.seed ^ ((fk * 16 + k) as u64) << 4);
+            let inst = family.instance(n, &mut grng);
+            let s0 = opts.seed + (fk * 777 + k * 11) as u64;
+            let ctu = estimate_dispersion(&inst.graph, inst.origin, Process::Ctu, &cfg, opts.trials, opts.threads, s0);
+            let par = estimate_dispersion(&inst.graph, inst.origin, Process::Parallel, &cfg, opts.trials, opts.threads, s0 + 1);
+            t.push_row([
+                inst.label.to_string(),
+                inst.graph.n().to_string(),
+                fmt_f(ctu.mean),
+                fmt_f(par.mean),
+                fmt_f(ctu.mean / par.mean),
+            ]);
+        }
+    }
+    print!("{}", if opts.csv { t.to_csv() } else { t.render() });
+    println!("\n(ratios should approach 1 as n grows)");
+}

@@ -1,0 +1,101 @@
+//! E20 (Section 6.2 extensions): the paper's suggested variants —
+//! * dispersion with `k < n` particles (is `k = n` the worst case?),
+//! * random per-particle origins,
+//! * the Theorem 3.3 milestone profile `τ_par(G, j)` (rounds until fewer
+//!   than `2^j − 1` vertices remain), checking that half the walks settle
+//!   within `O(t_mix)`.
+//!
+//! ```text
+//! cargo run -p dispersion-bench --release --bin extensions -- [--trials 200]
+//! ```
+
+use dispersion_bench::Options;
+use dispersion_core::process::partial::{
+    run_parallel_k, run_parallel_milestones, run_sequential_random_origins,
+};
+use dispersion_core::process::sequential::run_sequential;
+use dispersion_core::process::ProcessConfig;
+use dispersion_graphs::families::Family;
+use dispersion_markov::mixing::mixing_time;
+use dispersion_markov::transition::WalkKind;
+use dispersion_sim::parallel::par_samples;
+use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::stats::Summary;
+use dispersion_sim::table::{fmt_f, TextTable};
+
+fn main() {
+    let opts = Options::from_env();
+    let n = opts.sizes_or(&[256])[0];
+    let cfg = ProcessConfig::simple();
+
+    // ---- particle count sweep ----
+    println!("## k-particle Parallel-IDLA (is k = n the slowest?), clique + torus, n = {n}");
+    let mut t = TextTable::new(["family", "k/n", "E[τ_par(k)]"]);
+    for (fk, family) in [Family::Complete, Family::Torus2d].into_iter().enumerate() {
+        let mut grng = Xoshiro256pp::new(opts.seed + fk as u64);
+        let inst = family.instance(n, &mut grng);
+        let nn = inst.graph.n();
+        for (ki, frac) in [0.25f64, 0.5, 0.75, 1.0].into_iter().enumerate() {
+            let k = ((nn as f64 * frac) as usize).max(1);
+            let samples = par_samples(
+                opts.trials,
+                opts.threads,
+                opts.seed + (100 * fk + ki) as u64,
+                |_, rng| run_parallel_k(&inst.graph, inst.origin, k, &cfg, rng).dispersion_time as f64,
+            );
+            let s = Summary::from_samples(&samples);
+            t.push_row([inst.label.to_string(), format!("{frac:.2}"), fmt_f(s.mean)]);
+        }
+    }
+    print!("{}", t.render());
+    println!("(the paper conjectures the dispersion time is maximal at k = n)\n");
+
+    // ---- random origins ----
+    println!("## random origins vs single origin (sequential), n = {n}");
+    let mut t2 = TextTable::new(["family", "single origin", "random origins", "speedup"]);
+    for (fk, family) in [Family::Complete, Family::Cycle, Family::Hypercube].into_iter().enumerate()
+    {
+        let mut grng = Xoshiro256pp::new(opts.seed + 50 + fk as u64);
+        let size = if matches!(family, Family::Cycle) { n.min(128) } else { n };
+        let inst = family.instance(size, &mut grng);
+        let nn = inst.graph.n();
+        let single = par_samples(opts.trials, opts.threads, opts.seed + 200 + fk as u64, |_, rng| {
+            run_sequential(&inst.graph, inst.origin, &cfg, rng).dispersion_time as f64
+        });
+        let spread = par_samples(opts.trials, opts.threads, opts.seed + 300 + fk as u64, |_, rng| {
+            run_sequential_random_origins(&inst.graph, nn, &cfg, rng).dispersion_time as f64
+        });
+        let ss = Summary::from_samples(&single);
+        let sp = Summary::from_samples(&spread);
+        t2.push_row([
+            inst.label.to_string(),
+            fmt_f(ss.mean),
+            fmt_f(sp.mean),
+            fmt_f(ss.mean / sp.mean),
+        ]);
+    }
+    print!("{}", t2.render());
+    println!();
+
+    // ---- milestones ----
+    println!("## Theorem 3.3 milestone profile on the hypercube (rounds until < 2^j - 1 unsettled)");
+    let mut grng = Xoshiro256pp::new(opts.seed + 999);
+    let inst = Family::Hypercube.instance(n, &mut grng);
+    let tmix = mixing_time(&inst.graph, WalkKind::Lazy, 0.25, 1 << 20)
+        .map(|t| t as f64)
+        .unwrap_or(f64::NAN);
+    let runs: Vec<Vec<u64>> = (0..opts.trials.min(50))
+        .map(|i| {
+            let mut rng = Xoshiro256pp::new(opts.seed + 1000 + i as u64);
+            run_parallel_milestones(&inst.graph, inst.origin, &cfg, &mut rng).1
+        })
+        .collect();
+    let jmax = runs[0].len();
+    let mut t3 = TextTable::new(["j (≤2^j−1 left)", "mean round", "round/t_mix"]);
+    for j in (0..jmax).rev() {
+        let mean: f64 = runs.iter().map(|r| r[j] as f64).sum::<f64>() / runs.len() as f64;
+        t3.push_row([j.to_string(), fmt_f(mean), fmt_f(mean / tmix)]);
+    }
+    print!("{}", t3.render());
+    println!("(lazy t_mix = {tmix}; the paper: at least n/2 walks settle within O(t_mix))");
+}

@@ -1,0 +1,90 @@
+//! E1–E8: regenerates the dispersion-time columns (`t_seq`, `t_par`) of
+//! Table 1, per graph family, with scaling-law fits against the paper's
+//! predicted shapes.
+//!
+//! ```text
+//! cargo run -p dispersion-bench --release --bin table1 -- [family|all]
+//!     [--sizes 32,64,128] [--trials 100] [--seed 1] [--csv]
+//! ```
+//!
+//! Families: path cycle grid2d grid3d hypercube btree clique expander.
+
+use dispersion_bench::sweep::{family_sweep, predicted_shape};
+use dispersion_bench::Options;
+use dispersion_graphs::families::Family;
+use dispersion_sim::fit::fit_power;
+use dispersion_sim::table::{fmt_f, TextTable};
+
+fn family_by_label(label: &str) -> Option<Family> {
+    Family::table1().into_iter().find(|f| f.label() == label)
+}
+
+fn default_sizes(family: Family) -> Vec<usize> {
+    match family {
+        // quadratic-time families stay small
+        Family::Path | Family::Cycle => vec![32, 64, 128, 256],
+        Family::Torus2d => vec![64, 144, 256, 576],
+        Family::Torus3d => vec![64, 216, 512, 1000],
+        Family::BinaryTree => vec![63, 127, 255, 511, 1023],
+        Family::Hypercube => vec![64, 128, 256, 512, 1024],
+        Family::Complete => vec![128, 256, 512, 1024, 2048],
+        Family::RandomRegular(_) => vec![128, 256, 512, 1024, 2048],
+        Family::Star => vec![128, 256, 512],
+        Family::Lollipop => vec![24, 32, 48],
+    }
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let which = opts
+        .positional
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+    let families: Vec<Family> = if which == "all" {
+        Family::table1()
+    } else {
+        vec![family_by_label(which)
+            .unwrap_or_else(|| panic!("unknown family {which:?}; try one of path cycle grid2d grid3d hypercube btree clique expander"))]
+    };
+
+    println!("# Table 1 reproduction — dispersion-time columns");
+    println!("# trials = {}, seed = {}, threads = {}\n", opts.trials, opts.seed, opts.threads);
+
+    for family in families {
+        let sizes = opts.sizes_or(&default_sizes(family));
+        let pts = family_sweep(family, &sizes, opts.trials, opts.threads, opts.seed);
+        let (shape_label, shape) = predicted_shape(family);
+
+        let mut t = TextTable::new([
+            "n", "t_seq", "±95%", "t_par", "±95%", "par/seq", "seq/shape", "par/shape",
+        ]);
+        for p in &pts {
+            let s = shape(p.n as f64);
+            t.push_row([
+                p.n.to_string(),
+                fmt_f(p.seq.mean),
+                fmt_f(1.96 * p.seq.sem),
+                fmt_f(p.par.mean),
+                fmt_f(1.96 * p.par.sem),
+                fmt_f(p.par.mean / p.seq.mean),
+                fmt_f(p.seq.mean / s),
+                fmt_f(p.par.mean / s),
+            ]);
+        }
+        println!("## {} — paper predicts Θ({shape_label})", family.label());
+        print!("{}", if opts.csv { t.to_csv() } else { t.render() });
+
+        if pts.len() >= 2 {
+            let ns: Vec<f64> = pts.iter().map(|p| p.n as f64).collect();
+            let seqs: Vec<f64> = pts.iter().map(|p| p.seq.mean).collect();
+            let pars: Vec<f64> = pts.iter().map(|p| p.par.mean).collect();
+            let fs = fit_power(&ns, &seqs);
+            let fp = fit_power(&ns, &pars);
+            println!(
+                "fit: t_seq ~ n^{:.2} (R²={:.3}), t_par ~ n^{:.2} (R²={:.3})\n",
+                fs.exponent, fs.r2, fp.exponent, fp.r2
+            );
+        }
+    }
+}

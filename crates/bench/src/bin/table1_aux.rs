@@ -1,0 +1,64 @@
+//! E9: the auxiliary columns of Table 1 — cover time, hitting time, mixing
+//! time — computed exactly (hitting/mixing) or by simulation (cover) per
+//! family at a fixed size.
+//!
+//! ```text
+//! cargo run -p dispersion-bench --release --bin table1_aux -- [--sizes 256] [--trials 50]
+//! ```
+
+use dispersion_bench::Options;
+use dispersion_graphs::families::Family;
+use dispersion_markov::cover::matthews_upper_bound;
+use dispersion_markov::hitting::max_hitting_time;
+use dispersion_markov::mixing::{mixing_time, mixing_time_bounds};
+use dispersion_markov::transition::WalkKind;
+use dispersion_markov::walker::mean_cover_time;
+use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::table::{fmt_f, TextTable};
+
+fn main() {
+    let opts = Options::from_env();
+    let size = opts.sizes_or(&[256])[0];
+
+    println!("# Table 1 auxiliary columns (cover / hitting / mixing), n ≈ {size}");
+    println!("# paper rows: cover=Θ(n log n) except path/cycle=Θ(n²), 2d-grid=Θ(n log² n)");
+    println!();
+
+    let mut t = TextTable::new([
+        "family",
+        "n",
+        "cover(sim)",
+        "Matthews ub",
+        "t_hit",
+        "t_mix(1/4,lazy)",
+        "cover/(n ln n)",
+        "thit/n",
+    ]);
+
+    for family in Family::table1() {
+        let mut grng = Xoshiro256pp::new(opts.seed);
+        let inst = family.instance(size, &mut grng);
+        let g = &inst.graph;
+        let n = g.n();
+        // exact quantities are O(n³): keep sizes moderate
+        let thit = max_hitting_time(g, WalkKind::Simple);
+        let tmix = mixing_time(g, WalkKind::Lazy, 0.25, 1 << 24)
+            .map(|t| t as f64)
+            .unwrap_or_else(|| mixing_time_bounds(g, WalkKind::Lazy, 0.25).1);
+        let matthews = matthews_upper_bound(g, WalkKind::Simple);
+        let mut crng = Xoshiro256pp::new(opts.seed ^ 0xC0FE);
+        let cover = mean_cover_time(g, WalkKind::Simple, inst.origin, opts.trials, &mut crng);
+        let nf = n as f64;
+        t.push_row([
+            inst.label.to_string(),
+            n.to_string(),
+            fmt_f(cover),
+            fmt_f(matthews),
+            fmt_f(thit),
+            fmt_f(tmix),
+            fmt_f(cover / (nf * nf.ln())),
+            fmt_f(thit / nf),
+        ]);
+    }
+    print!("{}", if opts.csv { t.to_csv() } else { t.render() });
+}

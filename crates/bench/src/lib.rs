@@ -1,0 +1,13 @@
+//! # dispersion-bench
+//!
+//! Experiment drivers shared by the reproduction binaries (`src/bin/*.rs`,
+//! one per experiment in DESIGN.md) and the Criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod sweep;
+
+pub use args::Options;
+pub use sweep::{family_sweep, SweepPoint};

@@ -1,0 +1,108 @@
+//! Size sweeps of dispersion times over the Table 1 graph families.
+
+use dispersion_core::process::ProcessConfig;
+use dispersion_graphs::families::Family;
+use dispersion_sim::experiment::{dispersion_samples, Process};
+use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::stats::Summary;
+
+/// One measured point of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Actual instance size (families round the requested size).
+    pub n: usize,
+    /// Sequential dispersion-time summary.
+    pub seq: Summary,
+    /// Parallel dispersion-time summary.
+    pub par: Summary,
+}
+
+/// Sweeps a family over `sizes`, measuring `t_seq` and `t_par` with
+/// `trials` runs each.
+pub fn family_sweep(
+    family: Family,
+    sizes: &[usize],
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let cfg = ProcessConfig::simple();
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(k, &size)| {
+            let mut grng = Xoshiro256pp::new(seed ^ (k as u64).wrapping_mul(0x9E37));
+            let inst = family.instance(size, &mut grng);
+            let n = inst.graph.n();
+            let seq = Summary::from_samples(&dispersion_samples(
+                &inst.graph,
+                inst.origin,
+                Process::Sequential,
+                &cfg,
+                trials,
+                threads,
+                seed.wrapping_add(2 * k as u64 + 1),
+            ));
+            let par = Summary::from_samples(&dispersion_samples(
+                &inst.graph,
+                inst.origin,
+                Process::Parallel,
+                &cfg,
+                trials,
+                threads,
+                seed.wrapping_add(2 * k as u64 + 2),
+            ));
+            SweepPoint { n, seq, par }
+        })
+        .collect()
+}
+
+/// The Table 1 asymptotic prediction for a family, as a human-readable
+/// formula and a shape function `n ↦ predicted order` (unit constant).
+pub fn predicted_shape(family: Family) -> (&'static str, fn(f64) -> f64) {
+    match family {
+        Family::Path | Family::Cycle => ("n^2 log n", |n| n * n * n.ln()),
+        Family::Torus2d => ("n log n .. n log^2 n", |n| n * n.ln() * n.ln()),
+        Family::Torus3d | Family::Hypercube | Family::RandomRegular(_) => ("n", |n| n),
+        Family::BinaryTree => ("n log^2 n", |n| n * n.ln() * n.ln()),
+        Family::Complete => ("n", |n| n),
+        Family::Star => ("n", |n| n),
+        Family::Lollipop => ("n^3 log n", |n| n * n * n * n.ln()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_ordered_points() {
+        let pts = family_sweep(Family::Complete, &[32, 64], 40, 2, 5);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].n < pts[1].n);
+        // dispersion grows with n
+        assert!(pts[1].seq.mean > pts[0].seq.mean);
+        assert!(pts[1].par.mean > pts[0].par.mean);
+        // Theorem 4.1 ordering in the mean
+        for p in &pts {
+            assert!(p.par.mean >= 0.9 * p.seq.mean);
+        }
+    }
+
+    #[test]
+    fn predicted_shapes_cover_table1() {
+        for f in Family::table1() {
+            let (label, shape) = predicted_shape(f);
+            assert!(!label.is_empty());
+            assert!(shape(100.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn sweep_deterministic() {
+        let a = family_sweep(Family::Cycle, &[16], 30, 1, 9);
+        let b = family_sweep(Family::Cycle, &[16], 30, 4, 9);
+        assert_eq!(a[0].seq.mean, b[0].seq.mean);
+        assert_eq!(a[0].par.mean, b[0].par.mean);
+    }
+}

@@ -1,0 +1,169 @@
+//! Upper bounds on the dispersion time (Theorems 3.1, 3.3, 3.5 and
+//! Corollary 3.2).
+
+use crate::sets::set_hitting_upper_estimate;
+use dispersion_graphs::Graph;
+use dispersion_markov::hitting::max_hitting_time;
+use dispersion_markov::mixing::{mixing_time, mixing_time_bounds};
+use dispersion_markov::transition::WalkKind;
+
+/// Theorem 3.1 (w.h.p. form): `Pr[τ > 6·t_hit·log₂ n] ≤ n⁻²`.
+/// Returns the threshold `6·t_hit(G)·log₂ n`.
+pub fn thm31_whp_threshold(g: &Graph, kind: WalkKind) -> f64 {
+    let n = g.n() as f64;
+    6.0 * max_hitting_time(g, kind) * n.log2()
+}
+
+/// Theorem 3.1 (expectation form): `t_par = O(t_hit log n)`; the proof's
+/// explicit constant gives `E[τ] ≤ 6·t_hit·log₂(n) / (1 − n⁻²) + O(1)` ≈ the
+/// same threshold, which we return.
+pub fn thm31_expectation_bound(g: &Graph, kind: WalkKind) -> f64 {
+    let n = g.n() as f64;
+    thm31_whp_threshold(g, kind) / (1.0 - 1.0 / (n * n).max(2.0))
+}
+
+/// Corollary 3.2, general graphs: `t_seq, t_par = O(n³ log n)`. Returns the
+/// explicit envelope `c·n³·log₂ n` with the constant from combining
+/// Theorem 3.1 with `t_hit ≤ (4/27 + o(1))·n³` (Lovász Thm 2.1 / Brightwell–
+/// Winkler); we use the clean envelope `n³ log₂ n`.
+pub fn cor32_general(n: usize) -> f64 {
+    let n = n as f64;
+    n.powi(3) * n.log2()
+}
+
+/// Corollary 3.2, regular graphs: `t_seq, t_par = O(n² log n)`; envelope
+/// `2·n²·log₂ n` (regular graphs have `t_hit ≤ 2n²`).
+pub fn cor32_regular(n: usize) -> f64 {
+    let n = n as f64;
+    2.0 * n * n * n.log2()
+}
+
+/// Theorem 3.3: for the lazy Parallel-IDLA,
+/// `t_par ≤ 60 · Σ_{j=1}^{⌈log₂ n⌉} ( t_mix + max_{|S| ≥ 2^{j−2}} t_hit(π,S) )`.
+///
+/// `set_hit(s)` must upper-bound `max_{|S| ≥ s} t_hit(π, S)`; plug in
+/// [`set_hitting_upper_estimate`] (Lemma C.2/C.3) or an exact oracle on tiny
+/// graphs.
+pub fn thm33_sum<F: Fn(usize) -> f64>(n: usize, tmix: f64, set_hit: F) -> f64 {
+    let jmax = (n as f64).log2().ceil() as usize;
+    let mut total = 0.0;
+    for j in 1..=jmax.max(1) {
+        let s = (1usize << j.saturating_sub(2)).max(1); // 2^{j-2}, at least 1
+        total += tmix + set_hit(s);
+    }
+    60.0 * total
+}
+
+/// Theorem 3.5: for the lazy Sequential-IDLA,
+/// `t_seq ≤ 30 · max_j { j · ( t_mix + max_{|S| ≥ 2^{j−2}} t_hit(π,S) ) }`.
+pub fn thm35_max<F: Fn(usize) -> f64>(n: usize, tmix: f64, set_hit: F) -> f64 {
+    let jmax = (n as f64).log2().ceil() as usize;
+    let mut best = 0.0f64;
+    for j in 1..=jmax.max(1) {
+        let s = (1usize << j.saturating_sub(2)).max(1);
+        best = best.max(j as f64 * (tmix + set_hit(s)));
+    }
+    30.0 * best
+}
+
+/// Convenience: evaluates Theorem 3.3 for an almost-regular graph using the
+/// Lemma C.3 spectral estimate for the set-hitting terms and the exact lazy
+/// mixing time when `n` is small (spectral upper bound otherwise).
+pub fn thm33_spectral(g: &Graph) -> f64 {
+    let n = g.n();
+    let tmix = lazy_mixing_estimate(g);
+    thm33_sum(n, tmix, |s| set_hitting_upper_estimate(g, s))
+}
+
+/// Convenience: evaluates Theorem 3.5 the same way.
+pub fn thm35_spectral(g: &Graph) -> f64 {
+    let n = g.n();
+    let tmix = lazy_mixing_estimate(g);
+    thm35_max(n, tmix, |s| set_hitting_upper_estimate(g, s))
+}
+
+/// The lazy mixing time: exact TV computation for `n ≤ 256`, spectral upper
+/// bound beyond.
+pub fn lazy_mixing_estimate(g: &Graph) -> f64 {
+    if g.n() <= 256 {
+        if let Some(t) = mixing_time(g, WalkKind::Lazy, 0.25, 1 << 22) {
+            return t as f64;
+        }
+    }
+    mixing_time_bounds(g, WalkKind::Lazy, 0.25).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dispersion_graphs::generators::{complete, cycle, hypercube, path, star};
+
+    #[test]
+    fn thm31_threshold_on_cycle() {
+        // cycle: t_hit = n²/4 at the antipode (max over pairs d(n-d) = n²/4)
+        let n = 16usize;
+        let t = thm31_whp_threshold(&cycle(n), WalkKind::Simple);
+        let expect = 6.0 * (n * n / 4) as f64 * (n as f64).log2();
+        assert!((t - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cor32_envelopes_dominate_thm31() {
+        // On the (regular) cycle and the (general) lollipop-ish path, the
+        // Corollary 3.2 envelopes dominate the per-graph Theorem 3.1 values.
+        for n in [16usize, 32, 64] {
+            let c = cycle(n);
+            assert!(cor32_regular(n) >= thm31_whp_threshold(&c, WalkKind::Simple) / 6.0);
+            let p = path(n);
+            assert!(cor32_general(n) >= thm31_whp_threshold(&p, WalkKind::Simple) / 6.0);
+        }
+    }
+
+    #[test]
+    fn thm33_recovers_thit_log_order() {
+        // Remark 3.4: the Theorem 3.3 bound is at most 120⌈log n⌉·(t_mix+t_hit).
+        let g = complete(32);
+        let n = g.n();
+        let tmix = 1.0;
+        let thit = 31.0;
+        let bound = thm33_sum(n, tmix, |_| thit);
+        let remark = 120.0 * (n as f64).log2().ceil() * (tmix + thit);
+        assert!(bound <= remark + 1e-9, "{bound} vs {remark}");
+    }
+
+    #[test]
+    fn thm35_at_most_thm33_up_to_constants() {
+        // The paper notes the Thm 3.5 bound is at most the Thm 3.3 bound
+        // (up to constants): max_j j·a_j ≤ Σ_j j·a_j ≤ log n Σ a_j; check
+        // the direct comparison 30·max ≤ 60·Σ for decreasing set-hit terms.
+        let n = 64;
+        let tmix = 3.0;
+        let set_hit = |s: usize| 100.0 / s as f64 * (1.0 + (s as f64).ln());
+        let t35 = thm35_max(n, tmix, set_hit);
+        let t33 = thm33_sum(n, tmix, set_hit);
+        // For these decreasing terms the j·a_j max is attained early and
+        // the sum dominates... verify numerically.
+        assert!(t35 <= 2.0 * t33, "t35 = {t35}, t33 = {t33}");
+    }
+
+    #[test]
+    fn spectral_bounds_dominate_known_dispersion_orders() {
+        // On expander-like graphs (clique, hypercube) the Theorem 3.3
+        // spectral evaluation must be >= the true dispersion time order
+        // (≈ 1.6 n on the clique).
+        let g = complete(64);
+        let bound = thm33_spectral(&g);
+        assert!(bound >= 1.6 * 64.0, "bound {bound}");
+        let h = hypercube(6);
+        let bound = thm33_spectral(&h);
+        assert!(bound >= 64.0, "bound {bound}");
+    }
+
+    #[test]
+    fn star_bounds_finite() {
+        let g = star(32);
+        assert!(thm33_spectral(&g).is_finite());
+        assert!(thm35_spectral(&g).is_finite());
+        assert!(thm35_spectral(&g) > 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Aggregate-growth statistics on lattices.
+//!
+//! The 2-d grid row of Table 1 is the paper's Open Problem 1, and both its
+//! lower bound (Prop. 5.10) and the binary-tree analysis lean on *where the
+//! aggregate is* at intermediate times (the shape theorems of Section 1.3).
+//! This module measures the aggregate's radial statistics on d-dimensional
+//! tori so the `grid2d` experiment can verify the ball-shape mechanism the
+//! paper's Prop. 5.10 imports from Jerison–Levine–Sheffield.
+
+use crate::occupancy::Occupancy;
+use dispersion_graphs::generators::grid::coords_of;
+use dispersion_graphs::Vertex;
+
+/// Radial statistics of an aggregate around an origin on a torus of the
+/// given side lengths.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShapeStats {
+    /// Number of occupied vertices.
+    pub size: usize,
+    /// Largest torus distance from the origin to an occupied vertex.
+    pub outer_radius: f64,
+    /// Smallest torus distance from the origin to a *vacant* vertex
+    /// (the inradius of the occupied region); infinite when full.
+    pub inner_radius: f64,
+    /// Mean distance of occupied vertices from the origin.
+    pub mean_radius: f64,
+}
+
+impl ShapeStats {
+    /// Fluctuation `outer − inner`: the shape theorems say this is
+    /// `O(log r)` on Z², i.e. tiny compared to the radius.
+    pub fn fluctuation(&self) -> f64 {
+        if self.inner_radius.is_finite() {
+            self.outer_radius - self.inner_radius
+        } else {
+            0.0
+        }
+    }
+
+    /// Roundness `inner/outer ∈ [0, 1]`; 1 is a perfect ball.
+    pub fn roundness(&self) -> f64 {
+        if self.outer_radius == 0.0 || !self.inner_radius.is_finite() {
+            1.0
+        } else {
+            (self.inner_radius / self.outer_radius).min(1.0)
+        }
+    }
+}
+
+/// Euclidean distance on the torus (coordinates wrap).
+fn torus_distance(a: &[usize], b: &[usize], dims: &[usize]) -> f64 {
+    let mut sum = 0.0f64;
+    for i in 0..dims.len() {
+        let d = a[i].abs_diff(b[i]);
+        let wrapped = d.min(dims[i] - d) as f64;
+        sum += wrapped * wrapped;
+    }
+    sum.sqrt()
+}
+
+/// Computes [`ShapeStats`] of `occ` around `origin` on a torus with side
+/// lengths `dims` (vertex ids must be row-major as produced by
+/// [`dispersion_graphs::generators::grid::torus`]).
+///
+/// # Panics
+///
+/// Panics if the occupancy size does not match `Π dims`.
+pub fn shape_stats(occ: &Occupancy, origin: Vertex, dims: &[usize]) -> ShapeStats {
+    let n: usize = dims.iter().product();
+    assert_eq!(occ.n(), n, "occupancy size does not match the torus");
+    let o = coords_of(origin as usize, dims);
+    let mut outer = 0.0f64;
+    let mut inner = f64::INFINITY;
+    let mut total = 0.0f64;
+    let mut size = 0usize;
+    for v in 0..n {
+        let c = coords_of(v, dims);
+        let d = torus_distance(&o, &c, dims);
+        if occ.is_occupied(v as Vertex) {
+            size += 1;
+            total += d;
+            outer = outer.max(d);
+        } else {
+            inner = inner.min(d);
+        }
+    }
+    ShapeStats {
+        size,
+        outer_radius: outer,
+        inner_radius: inner,
+        mean_radius: if size > 0 { total / size as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessConfig;
+    use dispersion_graphs::generators::grid::{index_of, torus2d};
+    use dispersion_graphs::walk::step;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn torus_distance_wraps() {
+        let dims = [10usize, 10];
+        assert_eq!(torus_distance(&[0, 0], &[9, 0], &dims), 1.0);
+        assert_eq!(torus_distance(&[0, 0], &[5, 0], &dims), 5.0);
+        assert_eq!(torus_distance(&[1, 1], &[1, 1], &dims), 0.0);
+        let d = torus_distance(&[0, 0], &[9, 9], &dims);
+        assert!((d - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_occupied_origin() {
+        let dims = [5usize, 5];
+        let mut occ = Occupancy::new(25);
+        let origin = index_of(&[2, 2], &dims);
+        occ.settle(origin);
+        let s = shape_stats(&occ, origin, &dims);
+        assert_eq!(s.size, 1);
+        assert_eq!(s.outer_radius, 0.0);
+        assert_eq!(s.inner_radius, 1.0);
+        assert_eq!(s.mean_radius, 0.0);
+    }
+
+    #[test]
+    fn full_occupancy() {
+        let dims = [4usize, 4];
+        let mut occ = Occupancy::new(16);
+        for v in 0..16 {
+            occ.settle(v);
+        }
+        let s = shape_stats(&occ, 0, &dims);
+        assert_eq!(s.size, 16);
+        assert!(s.inner_radius.is_infinite());
+        assert_eq!(s.fluctuation(), 0.0);
+        assert_eq!(s.roundness(), 1.0);
+    }
+
+    #[test]
+    fn idla_aggregate_is_roughly_round() {
+        // run Sequential-IDLA to 1/4 fill on a 31×31 torus and check the
+        // aggregate is ball-ish: roundness well above a thin-tendril shape.
+        let side = 31usize;
+        let dims = [side, side];
+        let g = torus2d(side);
+        let n = g.n();
+        let origin = index_of(&[side / 2, side / 2], &dims);
+        let cfg = ProcessConfig::simple();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut occ = Occupancy::new(n);
+        occ.settle(origin);
+        while occ.settled_count() < n / 4 {
+            let mut pos = origin;
+            loop {
+                pos = step(&g, cfg.walk, pos, &mut rng);
+                if !occ.is_occupied(pos) {
+                    occ.settle(pos);
+                    break;
+                }
+            }
+        }
+        let s = shape_stats(&occ, origin, &dims);
+        assert_eq!(s.size, n / 4);
+        // ball of area n/4 has radius √(n/4π) ≈ 8.7
+        let ball_r = ((n / 4) as f64 / std::f64::consts::PI).sqrt();
+        assert!(
+            (s.mean_radius - 2.0 / 3.0 * ball_r).abs() < 0.35 * ball_r,
+            "mean radius {} vs ball prediction {}",
+            s.mean_radius,
+            2.0 / 3.0 * ball_r
+        );
+        assert!(
+            s.roundness() > 0.35,
+            "aggregate far from round: roundness {}",
+            s.roundness()
+        );
+        assert!(s.fluctuation() < ball_r, "fluctuation {}", s.fluctuation());
+    }
+}

@@ -1,0 +1,260 @@
+//! The coupling algorithms of Section 4: `StP` (Algorithm 1), `PtS`
+//! (Algorithm 2), and `PtU_R` (Algorithm 3).
+//!
+//! `StP : Seq_v^m → Par_v^m` and `PtS : Par_v^m → Seq_v^m` are mutually
+//! inverse bijections (Lemma 4.4, Remark 4.5). Both preserve the total
+//! length and the visit multiset; `StP` never shortens the longest row
+//! (Lemma 4.6), which is the heart of the stochastic domination
+//! `τ_seq ⪯ τ_par` (Theorem 4.1).
+
+use super::cut_paste::cut_paste;
+use super::repr::Block;
+
+/// Sequential → Parallel (Algorithm 1, `StP`).
+///
+/// Reads the block in parallel order; on each first occurrence of a vertex
+/// label, applies `CP` there so the row ends at that cell.
+///
+/// # Panics
+///
+/// Panics if the input violates property (2) or reading stalls (malformed
+/// input).
+pub fn sequential_to_parallel(block: &Block) -> Block {
+    let mut b = block.clone();
+    let n = b.n_rows();
+    let mut seen = vec![false; b.label_bound()];
+    let mut found = 0usize;
+    let mut t = 0usize;
+    let budget = b.total_length() + n + 1;
+    while found < n {
+        assert!(t < budget, "StP did not terminate: malformed block");
+        for i in 0..n {
+            if let Some(v) = b.get(i, t) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    found += 1;
+                    cut_paste(&mut b, i, t);
+                }
+            }
+        }
+        t += 1;
+    }
+    b
+}
+
+/// Parallel → Sequential (Algorithm 2, `PtS`).
+///
+/// Reads the block in sequential order; the first unseen vertex in each row
+/// becomes that row's endpoint via `CP`, then reading moves to the next row.
+pub fn parallel_to_sequential(block: &Block) -> Block {
+    let mut b = block.clone();
+    let n = b.n_rows();
+    let mut seen = vec![false; b.label_bound()];
+    for i in 0..n {
+        let mut t = 0usize;
+        while let Some(v) = b.get(i, t) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                cut_paste(&mut b, i, t);
+                break;
+            }
+            t += 1;
+        }
+    }
+    b
+}
+
+/// A block together with the global tick at which each cell was read — the
+/// `R`-uniform blocks of Section 4.2 (`T(i, j) = t` iff `R_t = i` for the
+/// `j`-th time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedBlock {
+    /// The trajectory rows.
+    pub block: Block,
+    /// `times[i][j]`: tick at which particle `i` made its `j`-th jump
+    /// (`times[i][0] = 0` is the start cell).
+    pub times: Vec<Vec<u64>>,
+}
+
+impl TimedBlock {
+    /// The tick at which the last particle settled — the Uniform-IDLA
+    /// dispersion time (measured in global ticks, not row length).
+    pub fn settle_tick(&self) -> u64 {
+        self.times
+            .iter()
+            .map(|row| *row.last().unwrap())
+            .max()
+            .unwrap()
+    }
+}
+
+/// Parallel → `R`-Uniform (Algorithm 3, `PtU_R`).
+///
+/// `schedule` yields the particle index `R_t ∈ {1, …, n−1}` moved at each
+/// tick `t = 1, 2, …` (particle 0 settles at the origin at tick 0 and never
+/// moves). Reading proceeds in schedule order: at each tick the scheduled
+/// particle's next unread cell is read; first occurrences trigger `CP`,
+/// carrying the timing of moved cells along.
+///
+/// # Panics
+///
+/// Panics if the schedule ends before all vertices are read, or yields an
+/// out-of-range/zero index.
+pub fn parallel_to_uniform<I: Iterator<Item = usize>>(block: &Block, schedule: I) -> TimedBlock {
+    let mut b = block.clone();
+    let n = b.n_rows();
+    let mut seen = vec![false; b.label_bound()];
+    let mut found = 0usize;
+    // next unread cell index per row; all rows start read at cell 0 (tick 0)
+    let mut next = vec![1usize; n];
+    let mut times: Vec<Vec<u64>> = (0..n).map(|_| vec![0u64]).collect();
+
+    // tick 0: read all start cells in index order (they all hold the origin)
+    for i in 0..n {
+        let v = b.get(i, 0).unwrap();
+        if !seen[v as usize] {
+            seen[v as usize] = true;
+            found += 1;
+            cut_paste(&mut b, i, 0);
+        }
+    }
+
+    let mut tick = 0u64;
+    let mut schedule = schedule;
+    while found < n {
+        let i = schedule
+            .next()
+            .expect("schedule exhausted before the uniform process finished");
+        assert!(i >= 1 && i < n, "schedule index {i} out of range 1..{n}");
+        tick += 1;
+        let t = next[i];
+        if let Some(v) = b.get(i, t) {
+            times[i].push(tick);
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                found += 1;
+                // CP moves only the *unread* tail of row i (cells after the
+                // read pointer); unread cells carry no times yet, and they
+                // will be timed when their new row's schedule reads them —
+                // exactly the "times move with cells" rule of Section 4.2.
+                cut_paste(&mut b, i, t);
+            }
+            next[i] = t + 1;
+        }
+        // settled particles' rings are no-ops (their row is exhausted)
+    }
+    debug_assert!(times
+        .iter()
+        .zip(b.rows())
+        .all(|(tr, rr)| tr.len() == rr.len()));
+    TimedBlock { block: b, times }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::validate::{
+        has_distinct_endpoints, is_parallel_block, is_sequential_block,
+    };
+
+    fn seq_block() -> Block {
+        Block::from_rows(vec![
+            vec![0],
+            vec![0, 1],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+        ])
+    }
+
+    fn par_only_block() -> Block {
+        // the C5 example: parallel-valid, not sequential-valid
+        Block::from_rows(vec![
+            vec![0],
+            vec![0, 1],
+            vec![0, 1, 2],
+            vec![0, 1, 0, 4, 3],
+            vec![0, 4],
+        ])
+    }
+
+    #[test]
+    fn stp_produces_parallel_block() {
+        let p = sequential_to_parallel(&seq_block());
+        assert!(is_parallel_block(&p));
+        assert!(has_distinct_endpoints(&p));
+        assert_eq!(p.total_length(), seq_block().total_length());
+        assert_eq!(p.visit_counts(), seq_block().visit_counts());
+    }
+
+    #[test]
+    fn pts_produces_sequential_block() {
+        let s = parallel_to_sequential(&par_only_block());
+        assert!(is_sequential_block(&s));
+        assert!(has_distinct_endpoints(&s));
+        assert_eq!(s.total_length(), par_only_block().total_length());
+        assert_eq!(s.visit_counts(), par_only_block().visit_counts());
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        // Remark 4.5: StP and PtS are mutually inverse.
+        let p = par_only_block();
+        assert_eq!(sequential_to_parallel(&parallel_to_sequential(&p)), p);
+        let s = seq_block();
+        assert_eq!(parallel_to_sequential(&sequential_to_parallel(&s)), s);
+    }
+
+    #[test]
+    fn lemma_4_6_longest_row_never_shrinks() {
+        let s = seq_block();
+        let p = sequential_to_parallel(&s);
+        assert!(p.max_row_length() >= s.max_row_length());
+    }
+
+    #[test]
+    fn fixed_points() {
+        // A block that is both sequential and parallel is fixed by both maps.
+        let s = seq_block();
+        assert!(is_parallel_block(&s));
+        assert_eq!(sequential_to_parallel(&s), s);
+        assert_eq!(parallel_to_sequential(&s), s);
+    }
+
+    #[test]
+    fn pt_ur_produces_consistent_timing() {
+        let p = par_only_block();
+        // round-robin schedule over particles 1..5
+        let schedule = (0..).map(|k| 1 + (k % 4));
+        let timed = parallel_to_uniform(&p, schedule);
+        // shape: times parallel to rows
+        for (tr, rr) in timed.times.iter().zip(timed.block.rows()) {
+            assert_eq!(tr.len(), rr.len());
+            // ticks strictly increase along a row
+            for w in tr.windows(2) {
+                assert!(w[0] < w[1], "non-monotone ticks {:?}", tr);
+            }
+        }
+        // the uniform block read in parallel order is a parallel block
+        // (StP is oblivious to R: uniform blocks are parallel-transformable)
+        assert!(has_distinct_endpoints(&timed.block));
+        assert_eq!(timed.block.total_length(), p.total_length());
+        assert!(timed.settle_tick() >= timed.block.max_row_length() as u64);
+    }
+
+    #[test]
+    fn pt_ur_uniform_back_to_parallel() {
+        // StP(uniform block) == original parallel block (bijection for a
+        // fixed R, Theorem 4.7).
+        let p = par_only_block();
+        let schedule = (0..).map(|k| 1 + (k % 4));
+        let timed = parallel_to_uniform(&p, schedule);
+        assert_eq!(sequential_to_parallel(&timed.block), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule exhausted")]
+    fn short_schedule_panics() {
+        let p = par_only_block();
+        let _ = parallel_to_uniform(&p, std::iter::once(1));
+    }
+}

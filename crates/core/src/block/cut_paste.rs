@@ -1,0 +1,127 @@
+//! The Cut & Paste transform `CP_(i,t)` (Section 4).
+//!
+//! `CP_(i,t)(L)` cuts the cells `(i, t+1), …, (i, ρ_i)` and pastes them after
+//! the unique `(k, ρ_k)` with `L(i, t) = L(k, ρ_k)`. It preserves
+//! * property (2): endpoints remain pairwise distinct,
+//! * the total length `m(L)`,
+//! * the multiset of visited vertices.
+
+use super::repr::Block;
+use dispersion_graphs::Vertex;
+
+/// Applies `CP_(i,t)` in place.
+///
+/// When `(i, t)` is already the end of row `i`, the transform is the
+/// identity (the unique row ending at `L(i, t)` is row `i` itself).
+///
+/// # Panics
+///
+/// Panics if `(i, t)` is not a cell of the block, or if the receiving row is
+/// not unique / does not exist (i.e. the block violates property (2)).
+pub fn cut_paste(block: &mut Block, i: usize, t: usize) {
+    let v = block
+        .get(i, t)
+        .unwrap_or_else(|| panic!("CP({i},{t}): not a cell of the block"));
+    if t == block.rho(i) {
+        // L(i,t) is row i's own endpoint; by uniqueness of endpoints the
+        // receiver is row i and there is nothing to move.
+        return;
+    }
+    let k = receiving_row(block, v);
+    assert_ne!(
+        k, i,
+        "CP({i},{t}): row {i} ends at an interior repeat of {v}; invalid block"
+    );
+    let rows = block.rows_mut();
+    let tail: Vec<Vertex> = rows[i].drain(t + 1..).collect();
+    rows[k].extend(tail);
+}
+
+/// The unique row whose endpoint is `v`.
+///
+/// # Panics
+///
+/// Panics if no row or more than one row ends at `v`.
+pub fn receiving_row(block: &Block, v: Vertex) -> usize {
+    let mut found = None;
+    for k in 0..block.n_rows() {
+        if block.endpoint(k) == v {
+            assert!(
+                found.is_none(),
+                "two rows end at vertex {v}: property (2) violated"
+            );
+            found = Some(k);
+        }
+    }
+    found.unwrap_or_else(|| panic!("no row ends at vertex {v}: property (2) violated"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::repr::paper_example;
+    use crate::block::validate::has_distinct_endpoints;
+
+    #[test]
+    fn paper_example_cp_4_1() {
+        // Paper Section 4: CP_(4,1) (0-indexed: CP_(3,1)) moves the tail of
+        // row 4 onto the row ending at vertex 2 (paper labels; our labels
+        // shift down by one).
+        let mut b = paper_example();
+        cut_paste(&mut b, 3, 1);
+        let expect = Block::from_rows(vec![
+            vec![0],
+            vec![0, 1, 0, 1, 2, 3],
+            vec![0, 1, 1, 2],
+            vec![0, 1],
+        ]);
+        assert_eq!(b, expect);
+    }
+
+    #[test]
+    fn identity_cases_from_paper() {
+        // CP_(1,0) = CP_(2,1) = CP_(3,3) = CP_(4,5) = identity (0-indexed:
+        // rows 0..3 at their endpoint positions).
+        for (i, t) in [(0usize, 0usize), (1, 1), (2, 3), (3, 5)] {
+            let mut b = paper_example();
+            cut_paste(&mut b, i, t);
+            assert_eq!(b, paper_example(), "CP({i},{t}) should be identity");
+        }
+    }
+
+    #[test]
+    fn preserves_invariants() {
+        let before = paper_example();
+        let mut after = before.clone();
+        cut_paste(&mut after, 3, 1);
+        assert_eq!(before.total_length(), after.total_length());
+        assert_eq!(before.visit_counts(), after.visit_counts());
+        assert!(has_distinct_endpoints(&after));
+    }
+
+    #[test]
+    fn double_cp_composition() {
+        // applying CP at the cut point again is the identity
+        let mut b = paper_example();
+        cut_paste(&mut b, 3, 1);
+        let snapshot = b.clone();
+        cut_paste(&mut b, 3, 1); // (3,1) is now row 3's endpoint
+        assert_eq!(b, snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a cell")]
+    fn out_of_range_panics() {
+        let mut b = paper_example();
+        cut_paste(&mut b, 0, 5);
+    }
+
+    #[test]
+    fn receiving_row_lookup() {
+        let b = paper_example();
+        assert_eq!(receiving_row(&b, 0), 0);
+        assert_eq!(receiving_row(&b, 1), 1);
+        assert_eq!(receiving_row(&b, 2), 2);
+        assert_eq!(receiving_row(&b, 3), 3);
+    }
+}

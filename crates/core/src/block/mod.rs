@@ -1,0 +1,19 @@
+//! The block representation of IDLA realizations and the Cut & Paste
+//! coupling machinery (Section 4 of the paper).
+//!
+//! * [`Block`] — one trajectory row per particle,
+//! * [`fn@cut_paste`] — the `CP_(i,t)` transform,
+//! * [`sequential_to_parallel`] / [`parallel_to_sequential`] — the `StP` and
+//!   `PtS` bijections (Algorithms 1 and 2),
+//! * [`parallel_to_uniform`] — `PtU_R` (Algorithm 3),
+//! * [`validate`] — the paper's validity properties (2), (3), (4).
+
+pub mod algorithms;
+pub mod cut_paste;
+pub mod repr;
+pub mod validate;
+
+pub use algorithms::{parallel_to_sequential, parallel_to_uniform, sequential_to_parallel, TimedBlock};
+pub use cut_paste::{cut_paste, receiving_row};
+pub use repr::Block;
+pub use validate::{has_distinct_endpoints, is_parallel_block, is_sequential_block, rows_are_walks};

@@ -1,0 +1,170 @@
+//! The block representation of an IDLA realization (Section 4 of the paper).
+//!
+//! A realization is an irregular 2-dimensional array `L` with one row per
+//! particle; `L(i, t)` is the vertex visited by particle `i` after its `t`-th
+//! jump, so row `i` is a path `L(i,0) = v, …, L(i, ρ_i)` ending at the vertex
+//! where the particle settled.
+
+use dispersion_graphs::Vertex;
+
+/// A realization block: one trajectory row per particle, all starting at the
+/// common origin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    rows: Vec<Vec<Vertex>>,
+}
+
+impl Block {
+    /// Builds a block from trajectory rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no rows, any row is empty, or the rows do not
+    /// share a first vertex.
+    pub fn from_rows(rows: Vec<Vec<Vertex>>) -> Self {
+        assert!(!rows.is_empty(), "block needs at least one row");
+        assert!(rows.iter().all(|r| !r.is_empty()), "rows must be non-empty");
+        let origin = rows[0][0];
+        assert!(
+            rows.iter().all(|r| r[0] == origin),
+            "all rows must start at the common origin"
+        );
+        Block { rows }
+    }
+
+    /// Number of particles (rows).
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The common origin `v = L(i, 0)`.
+    pub fn origin(&self) -> Vertex {
+        self.rows[0][0]
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[Vertex] {
+        &self.rows[i]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Vertex>] {
+        &self.rows
+    }
+
+    /// Mutable access for the Cut & Paste machinery (crate-internal).
+    pub(crate) fn rows_mut(&mut self) -> &mut Vec<Vec<Vertex>> {
+        &mut self.rows
+    }
+
+    /// `ρ_i`: number of jumps of particle `i` (row length − 1).
+    pub fn rho(&self, i: usize) -> usize {
+        self.rows[i].len() - 1
+    }
+
+    /// The settle vertex `L(i, ρ_i)` of particle `i`.
+    pub fn endpoint(&self, i: usize) -> Vertex {
+        *self.rows[i].last().unwrap()
+    }
+
+    /// Cell `L(i, t)`, if present.
+    pub fn get(&self, i: usize, t: usize) -> Option<Vertex> {
+        self.rows.get(i).and_then(|r| r.get(t)).copied()
+    }
+
+    /// Total length `m(L) = ρ_1 + … + ρ_n` (total number of jumps).
+    pub fn total_length(&self) -> usize {
+        self.rows.iter().map(|r| r.len() - 1).sum()
+    }
+
+    /// The longest row length `max_i ρ_i` — the dispersion time the block
+    /// encodes.
+    pub fn max_row_length(&self) -> usize {
+        self.rows.iter().map(|r| r.len() - 1).max().unwrap()
+    }
+
+    /// The multiset of vertices visited, as `(vertex, count)` pairs sorted by
+    /// vertex. Cut & Paste preserves this exactly.
+    pub fn visit_counts(&self) -> Vec<(Vertex, usize)> {
+        let mut counts: std::collections::BTreeMap<Vertex, usize> = Default::default();
+        for row in &self.rows {
+            for &v in row {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Largest vertex id occurring in the block plus one (a safe array size
+    /// for per-vertex bookkeeping).
+    pub fn label_bound(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|&v| v as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The example block from Section 4 of the paper (0-indexed vertices:
+/// paper's {1,2,3,4} become {0,1,2,3}).
+#[cfg(test)]
+pub(crate) fn paper_example() -> Block {
+    Block::from_rows(vec![
+        vec![0],
+        vec![0, 1],
+        vec![0, 1, 1, 2],
+        vec![0, 1, 0, 1, 2, 3],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_queries() {
+        let b = paper_example();
+        assert_eq!(b.n_rows(), 4);
+        assert_eq!(b.origin(), 0);
+        assert_eq!(b.rho(0), 0);
+        assert_eq!(b.rho(3), 5);
+        assert_eq!(b.endpoint(2), 2);
+        assert_eq!(b.total_length(), 9); // 0 + 1 + 3 + 5
+        assert_eq!(b.max_row_length(), 5);
+    }
+
+    #[test]
+    fn get_in_and_out_of_range() {
+        let b = paper_example();
+        assert_eq!(b.get(3, 1), Some(1));
+        assert_eq!(b.get(0, 1), None);
+        assert_eq!(b.get(9, 0), None);
+    }
+
+    #[test]
+    fn visit_counts_multiset() {
+        let b = paper_example();
+        let counts = b.visit_counts();
+        // vertex 0: rows contribute 1+1+1+2 = 5
+        assert!(counts.contains(&(0, 5)));
+        // vertex 1: 0+1+2+2 = 5
+        assert!(counts.contains(&(1, 5)));
+        assert!(counts.contains(&(2, 2)));
+        assert!(counts.contains(&(3, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "common origin")]
+    fn mismatched_origin_rejected() {
+        let _ = Block::from_rows(vec![vec![0], vec![1, 0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_row_rejected() {
+        let _ = Block::from_rows(vec![vec![0], vec![]]);
+    }
+}
+

@@ -1,0 +1,116 @@
+//! Occupancy map of the growing aggregate.
+//!
+//! The aggregate of an IDLA process is the set of vertices on which a
+//! particle has settled. The hot loop queries and updates it once per walk
+//! step, so it is a flat bitmap plus a settled counter.
+
+use dispersion_graphs::Vertex;
+
+/// Which vertices are occupied by settled particles.
+#[derive(Clone, Debug)]
+pub struct Occupancy {
+    occupied: Vec<bool>,
+    count: usize,
+}
+
+impl Occupancy {
+    /// All-vacant occupancy for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Occupancy { occupied: vec![false; n], count: 0 }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// Whether `v` is occupied.
+    #[inline]
+    pub fn is_occupied(&self, v: Vertex) -> bool {
+        self.occupied[v as usize]
+    }
+
+    /// Marks `v` occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was already occupied — a settled vertex can never be
+    /// settled again; hitting this indicates a scheduler bug.
+    #[inline]
+    pub fn settle(&mut self, v: Vertex) {
+        assert!(
+            !self.occupied[v as usize],
+            "vertex {v} settled twice: scheduler bug"
+        );
+        self.occupied[v as usize] = true;
+        self.count += 1;
+    }
+
+    /// Number of occupied vertices.
+    #[inline]
+    pub fn settled_count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether every vertex is occupied.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.count == self.occupied.len()
+    }
+
+    /// The currently vacant vertices (ascending).
+    pub fn vacant(&self) -> Vec<Vertex> {
+        self.occupied
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| !o)
+            .map(|(v, _)| v as Vertex)
+            .collect()
+    }
+
+    /// The currently occupied vertices — the aggregate `A(t)` (ascending).
+    pub fn aggregate(&self) -> Vec<Vertex> {
+        self.occupied
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o)
+            .map(|(v, _)| v as Vertex)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_vacant() {
+        let o = Occupancy::new(4);
+        assert_eq!(o.settled_count(), 0);
+        assert!(!o.is_full());
+        assert_eq!(o.vacant(), vec![0, 1, 2, 3]);
+        assert!(o.aggregate().is_empty());
+    }
+
+    #[test]
+    fn settle_updates_all_views() {
+        let mut o = Occupancy::new(3);
+        o.settle(1);
+        assert!(o.is_occupied(1));
+        assert!(!o.is_occupied(0));
+        assert_eq!(o.settled_count(), 1);
+        assert_eq!(o.vacant(), vec![0, 2]);
+        assert_eq!(o.aggregate(), vec![1]);
+        o.settle(0);
+        o.settle(2);
+        assert!(o.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "settled twice")]
+    fn double_settle_panics() {
+        let mut o = Occupancy::new(2);
+        o.settle(0);
+        o.settle(0);
+    }
+}

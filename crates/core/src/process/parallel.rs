@@ -1,0 +1,193 @@
+//! Parallel-IDLA: all unsettled particles step simultaneously each round;
+//! when several particles land on the same vacant vertex in a round, the one
+//! with the smallest index settles (Section 1, Section 4).
+//!
+//! Equivalently (property (4)): reading the realization block in parallel
+//! order, the first occurrence of a vertex ends its row — which is exactly
+//! what scanning particles in index order within a round and settling
+//! immediately implements.
+
+use crate::block::Block;
+use crate::occupancy::Occupancy;
+use crate::outcome::DispersionOutcome;
+use crate::process::ProcessConfig;
+use dispersion_graphs::walk::step;
+use dispersion_graphs::{Graph, Vertex};
+use rand::Rng;
+
+/// Runs one Parallel-IDLA realization with `g.n()` particles from `origin`.
+///
+/// Particle 0 settles at the origin at round 0. The dispersion time equals
+/// the number of rounds until the last particle settles (every unsettled
+/// particle moves every round).
+///
+/// # Panics
+///
+/// Panics if the step cap fires or `origin` is out of range.
+pub fn run_parallel<R: Rng + ?Sized>(
+    g: &Graph,
+    origin: Vertex,
+    cfg: &ProcessConfig,
+    rng: &mut R,
+) -> DispersionOutcome {
+    let n = g.n();
+    assert!((origin as usize) < n, "origin {origin} out of range");
+    let mut occ = Occupancy::new(n);
+    let mut positions: Vec<Vertex> = vec![origin; n];
+    let mut settled = vec![false; n];
+    let mut steps = vec![0u64; n];
+    let mut settled_at: Vec<Vertex> = vec![origin; n];
+    let mut rows: Option<Vec<Vec<Vertex>>> =
+        cfg.record_trajectories.then(|| vec![vec![origin]; n]);
+
+    // particle 0 settles at the origin at time 0
+    occ.settle(origin);
+    settled[0] = true;
+    // an index list of unsettled particles, kept in ascending order so the
+    // within-round scan implements smallest-index tie-breaking
+    let mut active: Vec<usize> = (1..n).collect();
+
+    let mut total: u64 = 0;
+    while !active.is_empty() {
+        let mut still_active = Vec::with_capacity(active.len());
+        for &i in &active {
+            let pos = step(g, cfg.walk, positions[i], rng);
+            positions[i] = pos;
+            steps[i] += 1;
+            total += 1;
+            assert!(total <= cfg.step_cap, "parallel run exceeded step cap");
+            if let Some(rows) = rows.as_mut() {
+                rows[i].push(pos);
+            }
+            if !occ.is_occupied(pos) {
+                occ.settle(pos);
+                settled[i] = true;
+                settled_at[i] = pos;
+            } else {
+                still_active.push(i);
+            }
+        }
+        active = still_active;
+    }
+    debug_assert!(occ.is_full());
+    DispersionOutcome::new(origin, steps, settled_at, rows.map(Block::from_rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::validate::{is_parallel_block, rows_are_walks};
+    use crate::process::sequential::run_sequential;
+    use dispersion_graphs::generators::{complete, cycle, path, star};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn covers_every_vertex_exactly_once() {
+        let g = cycle(11);
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = run_parallel(&g, 5, &ProcessConfig::simple(), &mut rng);
+        let mut settled = o.settled_at.clone();
+        settled.sort_unstable();
+        assert_eq!(settled, (0..11).collect::<Vec<_>>());
+        assert_eq!(o.steps[0], 0);
+    }
+
+    #[test]
+    fn recorded_block_is_valid_parallel() {
+        let g = complete(9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let o = run_parallel(&g, 0, &ProcessConfig::simple().recording(), &mut rng);
+        let b = o.block.as_ref().unwrap();
+        assert!(is_parallel_block(b));
+        assert!(rows_are_walks(b, &g, false));
+        assert!(o.consistent_with_block());
+    }
+
+    #[test]
+    fn round_structure() {
+        // Unsettled particles move every round, so a particle's step count
+        // equals the round it settled in; step counts of settled particles
+        // are <= dispersion time, and at least one particle settles per
+        // completed... (not necessarily, but rounds are shared):
+        let g = complete(12);
+        let mut rng = StdRng::seed_from_u64(3);
+        let o = run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng);
+        // particle 1 moves first each round; it settles in round 1 since the
+        // first move in round 1 always finds a vacant vertex
+        assert_eq!(o.steps[1], 1);
+    }
+
+    #[test]
+    fn smallest_index_wins_ties_on_star() {
+        // On a star from the centre, every round all unsettled particles
+        // land on leaves; particle 1 reads first in round 1 and must settle.
+        let g = star(6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let o = run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng);
+        assert_eq!(o.steps[1], 1);
+        // steps on the star are odd for everyone (leaf-centre oscillation
+        // has period 2 and settling happens on leaves)
+        for i in 1..6 {
+            assert_eq!(o.steps[i] % 2, 1);
+        }
+    }
+
+    #[test]
+    fn dominates_sequential_in_the_mean() {
+        // Theorem 4.1: τ_seq ⪯ τ_par, so means must be ordered (statistical
+        // check with a comfortable margin).
+        let g = complete(24);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 400;
+        let mut seq_total = 0u64;
+        let mut par_total = 0u64;
+        for _ in 0..trials {
+            seq_total += run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng).dispersion_time;
+            par_total += run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng).dispersion_time;
+        }
+        let seq_mean = seq_total as f64 / trials as f64;
+        let par_mean = par_total as f64 / trials as f64;
+        assert!(
+            par_mean > seq_mean * 0.95,
+            "par {par_mean} should dominate seq {seq_mean}"
+        );
+    }
+
+    #[test]
+    fn path_parallel_settles_left_to_right() {
+        let g = path(7);
+        let mut rng = StdRng::seed_from_u64(6);
+        let o = run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng);
+        // from endpoint 0 the aggregate is always a prefix, so particle
+        // settle vertices, sorted by settle round, are increasing
+        let mut order: Vec<usize> = (0..7).collect();
+        order.sort_by_key(|&i| o.steps[i]);
+        let settle_positions: Vec<u32> = order.iter().map(|&i| o.settled_at[i]).collect();
+        for w in settle_positions.windows(2) {
+            assert!(w[0] < w[1], "settle order not monotone: {settle_positions:?}");
+        }
+    }
+
+    #[test]
+    fn total_steps_reasonable_on_clique() {
+        // mean total steps matches the sequential process's total steps
+        // distribution (Theorem 4.1) ≈ n·H_n on the clique (coupon
+        // collector total); crude sanity bound here.
+        let n = 16usize;
+        let g = complete(n);
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 300;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            total += run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng).total_steps;
+        }
+        let mean = total as f64 / trials as f64;
+        let hn: f64 = (1..n).map(|k| 1.0 / k as f64).sum();
+        let expect = (n - 1) as f64 * hn; // sum of geometrics ≈ n H_{n-1}
+        assert!(
+            (mean - expect).abs() < 0.15 * expect,
+            "mean {mean} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Uniform-IDLA (Section 4.2): at each tick a uniformly random unsettled
+//! particle moves and settles if it lands on a vacant vertex.
+//!
+//! Following the paper, the schedule `R_t` draws from *all* particles
+//! `{1, …, n−1}` (particle 0 sits at the origin); ticks that pick an
+//! already-settled particle are no-ops but still consume a tick. The
+//! dispersion time of the uniform process is measured in ticks (the values
+//! of the timing array `T`), not in the longest row.
+
+use crate::block::algorithms::TimedBlock;
+use crate::block::Block;
+use crate::occupancy::Occupancy;
+use crate::outcome::DispersionOutcome;
+use crate::process::ProcessConfig;
+use dispersion_graphs::walk::step;
+use dispersion_graphs::{Graph, Vertex};
+use rand::{Rng, RngExt};
+
+/// Outcome of a Uniform-IDLA run.
+#[derive(Clone, Debug)]
+pub struct UniformOutcome {
+    /// Per-particle view (steps, settle vertices, trajectories).
+    pub outcome: DispersionOutcome,
+    /// Global tick at which the last particle settled — the uniform
+    /// dispersion time.
+    pub settle_tick: u64,
+    /// Timed trajectories when recording was requested (rows plus the tick
+    /// of every jump), suitable for comparison with
+    /// [`crate::block::parallel_to_uniform`].
+    pub timed: Option<TimedBlock>,
+    /// The realized schedule `R_1, R_2, …` (particle index per tick) when
+    /// recording was requested; feeding it back through
+    /// [`crate::block::parallel_to_uniform`] reproduces this exact run
+    /// (the Theorem 4.7 bijection for fixed `R`).
+    pub schedule: Option<Vec<usize>>,
+}
+
+/// Runs one Uniform-IDLA realization from `origin`.
+///
+/// # Panics
+///
+/// Panics if the step cap fires (counted in ticks here) or `origin` is out
+/// of range.
+pub fn run_uniform<R: Rng + ?Sized>(
+    g: &Graph,
+    origin: Vertex,
+    cfg: &ProcessConfig,
+    rng: &mut R,
+) -> UniformOutcome {
+    let n = g.n();
+    assert!((origin as usize) < n, "origin {origin} out of range");
+    let mut occ = Occupancy::new(n);
+    let mut positions: Vec<Vertex> = vec![origin; n];
+    let mut settled = vec![false; n];
+    let mut steps = vec![0u64; n];
+    let mut settled_at: Vec<Vertex> = vec![origin; n];
+    let mut rows: Option<Vec<Vec<Vertex>>> =
+        cfg.record_trajectories.then(|| vec![vec![origin]; n]);
+    let mut times: Option<Vec<Vec<u64>>> =
+        cfg.record_trajectories.then(|| vec![vec![0u64]; n]);
+    let mut schedule: Option<Vec<usize>> = cfg.record_trajectories.then(Vec::new);
+
+    occ.settle(origin);
+    settled[0] = true;
+    let mut unsettled = n - 1;
+    let mut tick: u64 = 0;
+    let mut settle_tick = 0u64;
+    while unsettled > 0 {
+        tick += 1;
+        assert!(tick <= cfg.step_cap, "uniform run exceeded tick cap");
+        let i = if n > 1 { rng.random_range(1..n) } else { 0 };
+        if let Some(schedule) = schedule.as_mut() {
+            schedule.push(i);
+        }
+        if settled[i] {
+            continue;
+        }
+        let pos = step(g, cfg.walk, positions[i], rng);
+        positions[i] = pos;
+        steps[i] += 1;
+        if let Some(rows) = rows.as_mut() {
+            rows[i].push(pos);
+        }
+        if let Some(times) = times.as_mut() {
+            times[i].push(tick);
+        }
+        if !occ.is_occupied(pos) {
+            occ.settle(pos);
+            settled[i] = true;
+            settled_at[i] = pos;
+            unsettled -= 1;
+            settle_tick = tick;
+        }
+    }
+    debug_assert!(occ.is_full());
+    let block = rows.map(Block::from_rows);
+    let timed = match (block.clone(), times) {
+        (Some(block), Some(times)) => Some(TimedBlock { block, times }),
+        _ => None,
+    };
+    let outcome = DispersionOutcome::new(origin, steps, settled_at, block);
+    UniformOutcome { outcome, settle_tick, timed, schedule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::validate::{has_distinct_endpoints, rows_are_walks};
+    use crate::block::sequential_to_parallel;
+    use crate::block::validate::is_parallel_block;
+    use dispersion_graphs::generators::{complete, cycle, star};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn covers_every_vertex() {
+        let g = cycle(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = run_uniform(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let mut settled = o.outcome.settled_at.clone();
+        settled.sort_unstable();
+        assert_eq!(settled, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ticks_dominate_steps() {
+        // every jump consumes a tick, and no-op ticks only add
+        let g = complete(12);
+        let mut rng = StdRng::seed_from_u64(2);
+        let o = run_uniform(&g, 0, &ProcessConfig::simple(), &mut rng);
+        assert!(o.settle_tick >= o.outcome.total_steps);
+    }
+
+    #[test]
+    fn recorded_block_transforms_to_valid_parallel() {
+        // Theorem 4.7: StP applied to a uniform block (oblivious to R)
+        // yields a valid parallel block.
+        let g = star(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let o = run_uniform(&g, 0, &ProcessConfig::simple().recording(), &mut rng);
+        let b = o.outcome.block.as_ref().unwrap();
+        assert!(has_distinct_endpoints(b));
+        assert!(rows_are_walks(b, &g, false));
+        let p = sequential_to_parallel(b);
+        assert!(is_parallel_block(&p));
+        assert_eq!(p.total_length(), b.total_length());
+    }
+
+    #[test]
+    fn timing_array_consistent() {
+        let g = cycle(8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let o = run_uniform(&g, 0, &ProcessConfig::simple().recording(), &mut rng);
+        let timed = o.timed.as_ref().unwrap();
+        for (tr, rr) in timed.times.iter().zip(timed.block.rows()) {
+            assert_eq!(tr.len(), rr.len());
+            for w in tr.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+        assert_eq!(timed.settle_tick(), o.settle_tick);
+    }
+
+    #[test]
+    fn theorem_4_7_full_bijection_roundtrip() {
+        // StP forgets the schedule; PtU_R with the recorded schedule must
+        // reconstruct the exact uniform realization (rows AND times).
+        use crate::block::parallel_to_uniform;
+        for seed in 0..8 {
+            let g = cycle(9);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let o = run_uniform(&g, 0, &ProcessConfig::simple().recording(), &mut rng);
+            let timed = o.timed.as_ref().unwrap();
+            let schedule = o.schedule.as_ref().unwrap();
+            let par = sequential_to_parallel(&timed.block);
+            let rebuilt = parallel_to_uniform(&par, schedule.iter().copied());
+            assert_eq!(rebuilt.block, timed.block, "rows differ (seed {seed})");
+            assert_eq!(rebuilt.times, timed.times, "times differ (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = dispersion_graphs::generators::cycle(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let o = run_uniform(&g, 0, &ProcessConfig::simple(), &mut rng);
+        assert_eq!(o.settle_tick, 0);
+        assert_eq!(o.outcome.dispersion_time, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Reenactment of the worked example in Section 4 of the paper and
+//! CP-algebra properties on synthetic blocks.
+
+use dispersion_core::block::validate::{
+    has_distinct_endpoints, is_parallel_block, is_sequential_block, parallel_order,
+    sequential_order,
+};
+use dispersion_core::block::{
+    cut_paste, parallel_to_sequential, receiving_row, sequential_to_parallel, Block,
+};
+use proptest::prelude::*;
+
+/// The paper's example block on V = {1,2,3,4} (0-indexed here).
+fn paper_block() -> Block {
+    Block::from_rows(vec![
+        vec![0],
+        vec![0, 1],
+        vec![0, 1, 1, 2],
+        vec![0, 1, 0, 1, 2, 3],
+    ])
+}
+
+#[test]
+fn paper_example_cp() {
+    // CP_(4,1) in the paper's 1-indexed notation = CP_(3,1) here.
+    let mut l = paper_block();
+    cut_paste(&mut l, 3, 1);
+    assert_eq!(
+        l,
+        Block::from_rows(vec![
+            vec![0],
+            vec![0, 1, 0, 1, 2, 3],
+            vec![0, 1, 1, 2],
+            vec![0, 1],
+        ])
+    );
+    // identity positions named in the paper
+    for (i, t) in [(0usize, 0usize), (1, 1), (2, 3), (3, 5)] {
+        let mut l = paper_block();
+        cut_paste(&mut l, i, t);
+        assert_eq!(l, paper_block());
+    }
+}
+
+#[test]
+fn paper_example_is_parallel_its_pts_is_sequential() {
+    let l = paper_block();
+    assert!(is_parallel_block(&l));
+    let s = parallel_to_sequential(&l);
+    assert!(is_sequential_block(&s));
+    assert_eq!(s.total_length(), l.total_length());
+    assert_eq!(sequential_to_parallel(&s), l);
+}
+
+#[test]
+fn orders_agree_on_cell_count_and_disagree_on_sequence() {
+    let l = paper_block();
+    let seq = sequential_order(&l);
+    let par = parallel_order(&l);
+    assert_eq!(seq.len(), par.len());
+    assert_ne!(seq, par);
+    // sequential order starts by exhausting row 0; parallel by column 0
+    assert_eq!(seq[0], (0, 0));
+    assert_eq!(seq[1], (1, 0));
+    assert_eq!(par[0], (0, 0));
+    assert_eq!(par[1], (1, 0));
+    assert_eq!(par[4], (1, 1)); // column 1 begins after all 4 start cells
+}
+
+/// A synthetic valid sequential block over the complete graph on `n`
+/// vertices: row i walks around previously settled vertices then settles
+/// vertex i.
+fn synthetic_sequential_block(n: usize, wander: &[usize]) -> Block {
+    let mut rows = Vec::with_capacity(n);
+    rows.push(vec![0u32]);
+    for i in 1..n {
+        let mut row = vec![0u32];
+        // wander among settled vertices 0..i
+        let mut at = 0u32;
+        for &w in wander.iter().take(i % (wander.len() + 1)) {
+            let next = (w % i) as u32;
+            if next != at {
+                row.push(next);
+                at = next;
+            }
+        }
+        row.push(i as u32); // first fresh vertex: settles
+        rows.push(row);
+    }
+    Block::from_rows(rows)
+}
+
+proptest! {
+    #[test]
+    fn synthetic_blocks_are_valid_sequential(n in 2usize..24, wander in proptest::collection::vec(0usize..100, 0..8)) {
+        let b = synthetic_sequential_block(n, &wander);
+        prop_assert!(is_sequential_block(&b));
+        prop_assert!(has_distinct_endpoints(&b));
+    }
+
+    #[test]
+    fn stp_of_synthetic_blocks(n in 2usize..24, wander in proptest::collection::vec(0usize..100, 0..8)) {
+        let b = synthetic_sequential_block(n, &wander);
+        let p = sequential_to_parallel(&b);
+        prop_assert!(is_parallel_block(&p));
+        prop_assert_eq!(p.total_length(), b.total_length());
+        prop_assert!(p.max_row_length() >= b.max_row_length());
+        prop_assert_eq!(parallel_to_sequential(&p), b);
+    }
+
+    #[test]
+    fn cp_is_involution_free_but_idempotent_at_endpoints(n in 3usize..16) {
+        // CP at an endpoint cell is the identity
+        let b = synthetic_sequential_block(n, &[1, 2, 3]);
+        for i in 0..b.n_rows() {
+            let t = b.rho(i);
+            let mut c = b.clone();
+            cut_paste(&mut c, i, t);
+            prop_assert_eq!(&c, &b);
+        }
+    }
+
+    #[test]
+    fn receiving_row_finds_unique_endpoint_owner(n in 2usize..16) {
+        let b = synthetic_sequential_block(n, &[2, 1]);
+        for v in 0..n as u32 {
+            let k = receiving_row(&b, v);
+            prop_assert_eq!(b.endpoint(k), v);
+        }
+    }
+
+    #[test]
+    fn cp_preserves_invariants_everywhere(n in 3usize..12, wander in proptest::collection::vec(0usize..50, 1..6)) {
+        let b = synthetic_sequential_block(n, &wander);
+        for i in 0..b.n_rows() {
+            for t in 0..=b.rho(i) {
+                let mut c = b.clone();
+                cut_paste(&mut c, i, t);
+                prop_assert!(has_distinct_endpoints(&c), "CP({i},{t}) broke property (2)");
+                prop_assert_eq!(c.total_length(), b.total_length());
+                prop_assert_eq!(c.visit_counts(), b.visit_counts());
+            }
+        }
+    }
+}

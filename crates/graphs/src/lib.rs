@@ -1,0 +1,38 @@
+//! # dispersion-graphs
+//!
+//! Finite-graph substrate for the reproduction of *"The Dispersion Time of
+//! Random Walks on Finite Graphs"* (Rivera, Stauffer, Sauerwald, Sylvester;
+//! SPAA 2019).
+//!
+//! Provides:
+//!
+//! * [`Graph`] — compact CSR adjacency storage with `u32` vertex ids,
+//! * [`GraphBuilder`] — `O(n + m)` edge-list construction,
+//! * [`generators`] — every graph family in the paper's Table 1 plus all
+//!   counterexample gadgets (lollipop, clique-with-a-hair, tree-with-path, …),
+//! * [`traversal`] — BFS distances, connectivity, diameter, bipartiteness,
+//! * [`families::Family`] — the Table 1 families behind one enum for
+//!   experiment sweeps.
+//!
+//! ```
+//! use dispersion_graphs::generators::cycle;
+//! use dispersion_graphs::traversal::diameter;
+//!
+//! let g = cycle(10);
+//! assert_eq!(g.n(), 10);
+//! assert_eq!(diameter(&g), Some(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod families;
+pub mod generators;
+pub mod graph;
+pub mod traversal;
+pub mod walk;
+
+pub use builder::GraphBuilder;
+pub use graph::{Graph, Vertex};
+pub use walk::WalkKind;

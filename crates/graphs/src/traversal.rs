@@ -1,0 +1,163 @@
+//! BFS-based structural queries: connectivity, distances, diameter,
+//! bipartiteness, tree test.
+
+use crate::graph::{Graph, Vertex};
+use std::collections::VecDeque;
+
+/// BFS distances from `src`; unreachable vertices get `usize::MAX`.
+pub fn bfs_distances(g: &Graph, src: Vertex) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbours(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected (vacuously true for `n <= 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != usize::MAX)
+}
+
+/// Graph distance between two vertices, `None` if disconnected.
+pub fn distance(g: &Graph, u: Vertex, v: Vertex) -> Option<usize> {
+    let d = bfs_distances(g, u)[v as usize];
+    (d != usize::MAX).then_some(d)
+}
+
+/// Eccentricity of `v`: the maximum distance from `v` to any vertex.
+/// Returns `None` on disconnected graphs.
+pub fn eccentricity(g: &Graph, v: Vertex) -> Option<usize> {
+    let d = bfs_distances(g, v);
+    if d.contains(&usize::MAX) {
+        None
+    } else {
+        d.into_iter().max()
+    }
+}
+
+/// Diameter via all-pairs BFS (`O(n·m)`); `None` on disconnected graphs.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    let mut best = 0usize;
+    for v in g.vertices() {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// Whether the graph is bipartite (no odd cycle). Self-loops make a graph
+/// non-bipartite.
+///
+/// Bipartiteness matters here because the *non-lazy* walk on a bipartite
+/// graph is periodic; Section 3.1.1 of the paper switches to lazy walks for
+/// exactly this reason.
+pub fn is_bipartite(g: &Graph) -> bool {
+    let mut colour = vec![u8::MAX; g.n()];
+    for start in g.vertices() {
+        if colour[start as usize] != u8::MAX {
+            continue;
+        }
+        colour[start as usize] = 0;
+        let mut q = VecDeque::from([start]);
+        while let Some(u) = q.pop_front() {
+            let cu = colour[u as usize];
+            for &v in g.neighbours(u) {
+                if v == u {
+                    return false; // self-loop
+                }
+                if colour[v as usize] == u8::MAX {
+                    colour[v as usize] = 1 - cu;
+                    q.push_back(v);
+                } else if colour[v as usize] == cu {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Whether the graph is a tree: connected with exactly `n - 1` edges and no
+/// self-loops.
+pub fn is_tree(g: &Graph) -> bool {
+    g.n() >= 1
+        && g.m() == g.n() - 1
+        && is_connected(&g.clone())
+        && g.vertices().all(|v| !g.neighbours(v).contains(&v))
+}
+
+/// All leaves (degree-1 vertices) of the graph.
+pub fn leaves(g: &Graph) -> Vec<Vertex> {
+    g.vertices().filter(|&v| g.degree(v) == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::basic::{complete, cycle, path, star};
+    use crate::generators::hypercube::hypercube;
+
+    #[test]
+    fn path_distances() {
+        let g = path(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(diameter(&g), Some(5));
+        assert_eq!(eccentricity(&g, 2), Some(3));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        assert_eq!(diameter(&cycle(8)), Some(4));
+        assert_eq!(diameter(&cycle(9)), Some(4));
+    }
+
+    #[test]
+    fn disconnected_detection() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!is_connected(&g));
+        assert_eq!(distance(&g, 0, 2), None);
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn bipartite_families() {
+        assert!(is_bipartite(&path(7)));
+        assert!(is_bipartite(&cycle(8)));
+        assert!(!is_bipartite(&cycle(9)));
+        assert!(is_bipartite(&hypercube(4)));
+        assert!(!is_bipartite(&complete(3)));
+        // self-loop is an odd cycle
+        assert!(!is_bipartite(&Graph::from_edges(2, &[(0, 1), (1, 1)])));
+    }
+
+    #[test]
+    fn tree_tests() {
+        assert!(is_tree(&path(5)));
+        assert!(is_tree(&star(6)));
+        assert!(!is_tree(&cycle(5)));
+        assert!(!is_tree(&Graph::from_edges(4, &[(0, 1), (2, 3)])));
+    }
+
+    #[test]
+    fn leaves_of_star() {
+        let l = leaves(&star(5));
+        assert_eq!(l, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn hypercube_diameter_is_dimension() {
+        assert_eq!(diameter(&hypercube(5)), Some(5));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the graph substrate.
+
+use dispersion_graphs::generators::{basic, grid, hypercube, random, tree};
+use dispersion_graphs::traversal::{bfs_distances, is_bipartite, is_connected, is_tree};
+use dispersion_graphs::{Graph, GraphBuilder, Vertex};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random connected graph built from a spanning tree plus extras.
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40, any::<u64>(), 0usize..60).prop_map(|(n, seed, extra)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        use rand::RngExt;
+        for v in 1..n {
+            let p = rng.random_range(0..v);
+            b.add_edge(p as Vertex, v as Vertex);
+        }
+        for _ in 0..extra {
+            let u = rng.random_range(0..n) as Vertex;
+            let v = rng.random_range(0..n) as Vertex;
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(g in connected_graph()) {
+        let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        // no self-loops in this strategy
+        prop_assert_eq!(sum, 2 * g.m());
+        prop_assert_eq!(sum, g.arc_count());
+    }
+
+    #[test]
+    fn spanning_construction_is_connected(g in connected_graph()) {
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_on_edges(g in connected_graph()) {
+        let d = bfs_distances(&g, 0);
+        for (u, v) in g.edges() {
+            let du = d[u as usize] as i64;
+            let dv = d[v as usize] as i64;
+            prop_assert!((du - dv).abs() <= 1, "edge ({u},{v}) distances {du},{dv}");
+        }
+    }
+
+    #[test]
+    fn edges_iterator_count_matches_m(g in connected_graph()) {
+        prop_assert_eq!(g.edges().count(), g.m());
+    }
+
+    #[test]
+    fn neighbour_lists_symmetric(g in connected_graph()) {
+        for u in g.vertices() {
+            for &v in g.neighbours(u) {
+                let back = g.neighbours(v).iter().filter(|&&w| w == u).count();
+                let forth = g.neighbours(u).iter().filter(|&&w| w == v).count();
+                prop_assert_eq!(back, forth, "asymmetric multiplicity on ({},{})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn random_trees_are_trees(n in 2usize..60, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let parents: Vec<Vertex> = (1..n).map(|v| rng.random_range(0..v) as Vertex).collect();
+        let g = tree::tree_from_parents(&parents);
+        prop_assert!(is_tree(&g));
+        prop_assert!(is_bipartite(&g));
+    }
+
+    #[test]
+    fn grids_connected(a in 1usize..6, b in 1usize..6, c in 1usize..4) {
+        prop_assert!(is_connected(&grid::grid(&[a, b, c])));
+        prop_assert!(is_connected(&grid::torus(&[a, b, c])));
+    }
+
+    #[test]
+    fn regular_families_regular(k in 1usize..8) {
+        prop_assert!(hypercube::hypercube(k).is_regular());
+        prop_assert!(basic::cycle(k + 2).is_regular());
+        prop_assert!(basic::complete(k + 1).is_regular());
+    }
+
+    #[test]
+    fn gnp_monotone_edges_in_p(n in 10usize..60, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sparse = random::gnp(n, 0.05, &mut rng);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dense = random::gnp(n, 0.9, &mut rng);
+        // statistical sanity rather than strict coupling: dense should have
+        // far more edges at these sizes
+        prop_assert!(dense.m() > sparse.m());
+    }
+
+    #[test]
+    fn binary_tree_depths(levels in 1usize..10) {
+        let g = tree::binary_tree(levels);
+        let d = bfs_distances(&g, 0);
+        let maxd = *d.iter().max().unwrap();
+        prop_assert_eq!(maxd, levels - 1);
+        prop_assert_eq!(g.n(), tree::binary_tree_size(levels));
+    }
+}

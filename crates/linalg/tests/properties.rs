@@ -1,0 +1,122 @@
+//! Property-based tests of the dense linear algebra on random
+//! well-conditioned systems.
+
+use dispersion_linalg::{jacobi_eigen, lu, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random diagonally dominant matrix (guaranteed non-singular).
+fn dd_matrix() -> impl Strategy<Value = Matrix> {
+    (2usize..20, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(n, n, |i, j| {
+            let x: f64 = rng.random::<f64>() - 0.5;
+            if i == j {
+                x + n as f64
+            } else {
+                x
+            }
+        })
+    })
+}
+
+/// Random symmetric matrix.
+fn sym_matrix() -> impl Strategy<Value = Matrix> {
+    (2usize..16, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let x: f64 = rng.random::<f64>() * 2.0 - 1.0;
+                m[(i, j)] = x;
+                m[(j, i)] = x;
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lu_solve_residual_small(a in dd_matrix(), seed in any::<u64>()) {
+        let n = a.rows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 10.0 - 5.0).collect();
+        let x = lu::solve(&a, &b).unwrap();
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-8, "residual {}", (ri - bi).abs());
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip(a in dd_matrix()) {
+        let inv = lu::inverse(&a).unwrap();
+        let prod = a.matmul(&inv);
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(a.rows())) < 1e-8);
+    }
+
+    #[test]
+    fn determinant_multiplicative_under_transpose(a in dd_matrix()) {
+        let d1 = lu::Lu::factor(&a).unwrap().determinant();
+        let d2 = lu::Lu::factor(&a.transpose()).unwrap().determinant();
+        prop_assert!((d1 - d2).abs() < 1e-6 * d1.abs().max(1.0));
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix(a in sym_matrix()) {
+        // A = Σ λ_k v_k v_kᵀ
+        let e = jacobi_eigen(&a, 1e-13);
+        let n = a.rows();
+        let mut recon = Matrix::zeros(n, n);
+        for k in 0..n {
+            let v = e.vectors.row(k);
+            for i in 0..n {
+                for j in 0..n {
+                    recon[(i, j)] += e.values[k] * v[i] * v[j];
+                }
+            }
+        }
+        prop_assert!(recon.max_abs_diff(&a) < 1e-8, "reconstruction error {}", recon.max_abs_diff(&a));
+    }
+
+    #[test]
+    fn jacobi_values_sorted_and_trace_preserved(a in sym_matrix()) {
+        let e = jacobi_eigen(&a, 1e-13);
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        let trace: f64 = (0..a.rows()).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn matmul_associative(seed in any::<u64>(), n in 2usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rand_m = |r: usize, c: usize| {
+            Matrix::from_fn(r, c, |_, _| rng.random::<f64>() - 0.5)
+        };
+        let a = rand_m(n, n);
+        let b = rand_m(n, n);
+        let c = rand_m(n, n);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-10);
+    }
+
+    #[test]
+    fn vecmat_is_transpose_matvec(seed in any::<u64>(), n in 2usize..10, m in 2usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(n, m, |_, _| rng.random::<f64>() - 0.5);
+        let x: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+        let via_vecmat = a.vecmat(&x);
+        let via_transpose = a.transpose().matvec(&x);
+        for (p, q) in via_vecmat.iter().zip(&via_transpose) {
+            prop_assert!((p - q).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # dispersion-markov
+//!
+//! Random-walk and Markov-chain toolkit for the dispersion-time
+//! reproduction:
+//!
+//! * [`transition`] — dense transition matrices for simple (`P`) and lazy
+//!   (`P̃ = (I+P)/2`) walks, plus the symmetric normalised form,
+//! * [`mod@stationary`] — degree-proportional stationary distribution,
+//! * [`hitting`] — exact expected hitting times of vertices and sets
+//!   (single-target linear solves and the all-pairs fundamental matrix),
+//! * [`resistance`] — effective resistances via Laplacian solves (the
+//!   commute-time identity used by Theorem 3.6),
+//! * [`mixing`] — spectral gap `1 − λ*`, relaxation time, and exact
+//!   total-variation mixing times,
+//! * [`cover`] — Matthews cover-time bounds,
+//! * [`walker`] — Monte-Carlo simulation of single walks.
+//!
+//! ```
+//! use dispersion_graphs::generators::path;
+//! use dispersion_markov::{hitting::hitting_time, transition::WalkKind};
+//!
+//! // the end-to-end hitting time of the path is (n-1)²
+//! let g = path(5);
+//! let h = hitting_time(&g, WalkKind::Simple, 0, 4);
+//! assert!((h - 16.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod hitting;
+pub mod mixing;
+pub mod multiwalk;
+pub mod resistance;
+pub mod returns;
+pub mod stationary;
+pub mod transition;
+pub mod walker;
+
+pub use hitting::{all_pairs_hitting, hitting_time, max_hitting_time};
+pub use mixing::{mixing_time, spectral_gap};
+pub use stationary::stationary;
+pub use transition::{transition_matrix, WalkKind};

@@ -1,0 +1,140 @@
+//! Return probabilities `p^t_{u,v}` and the Lemma C.1 spectral envelope.
+//!
+//! Appendix C controls hitting times of sets through short-term return
+//! probabilities: Lemma C.1 states that for a lazy walk on a connected
+//! regular graph, `p^t_{u,v} ≤ d(v)/2m + √(d(v)/d(u))·λ₂^t`. The hypercube
+//! analysis (Theorem 5.7) and the second Lemma C.2 bound both consume such
+//! envelopes.
+
+use crate::mixing::lambda_star;
+use crate::transition::{matrix_power, transition_matrix, WalkKind};
+use dispersion_graphs::{Graph, Vertex};
+
+/// Exact `t`-step transition probability `p^t_{u,v}` via matrix powers.
+pub fn step_probability(g: &Graph, kind: WalkKind, u: Vertex, v: Vertex, t: usize) -> f64 {
+    let p = transition_matrix(g, kind);
+    let pt = matrix_power(&p, t);
+    pt[(u as usize, v as usize)]
+}
+
+/// Exact return-probability sequence `p^0_{u,u}, …, p^T_{u,u}` (one matrix
+/// multiplication per step; fine for the moderate `T` used in the paper's
+/// estimates).
+pub fn return_probabilities(g: &Graph, kind: WalkKind, u: Vertex, tmax: usize) -> Vec<f64> {
+    let p = transition_matrix(g, kind);
+    let n = g.n();
+    // evolve the point distribution δ_u
+    let mut dist = vec![0.0; n];
+    dist[u as usize] = 1.0;
+    let mut out = Vec::with_capacity(tmax + 1);
+    out.push(1.0);
+    for _ in 0..tmax {
+        dist = p.vecmat(&dist);
+        out.push(dist[u as usize]);
+    }
+    out
+}
+
+/// Lemma C.1 envelope: `p^t_{u,v} ≤ d(v)/(Σdeg) + √(d(v)/d(u))·λ*^t`
+/// (stated for lazy walks; `λ*` is the second-largest absolute eigenvalue).
+pub fn lemma_c1_bound(g: &Graph, kind: WalkKind, u: Vertex, v: Vertex, t: usize) -> f64 {
+    let lam = lambda_star(g, kind);
+    let dv = g.degree(v) as f64;
+    let du = g.degree(u) as f64;
+    dv / g.total_degree() as f64 + (dv / du).sqrt() * lam.powi(t as i32)
+}
+
+/// Expected number of visits to `u` in the first `tmax` steps of a walk
+/// started at `u` (`Σ_{t=0}^{T} p^t_{u,u}`) — the "expected returns" that
+/// drive the hypercube bound in Theorem 5.7.
+pub fn expected_returns(g: &Graph, kind: WalkKind, u: Vertex, tmax: usize) -> f64 {
+    return_probabilities(g, kind, u, tmax).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dispersion_graphs::generators::{complete, cycle, hypercube};
+
+    #[test]
+    fn zero_step_is_identity() {
+        let g = cycle(6);
+        assert_eq!(step_probability(&g, WalkKind::Simple, 2, 2, 0), 1.0);
+        assert_eq!(step_probability(&g, WalkKind::Simple, 2, 3, 0), 0.0);
+    }
+
+    #[test]
+    fn one_step_matches_transition() {
+        let g = cycle(6);
+        assert!((step_probability(&g, WalkKind::Simple, 0, 1, 1) - 0.5).abs() < 1e-12);
+        assert!((step_probability(&g, WalkKind::Lazy, 0, 0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn return_sequence_matches_step_probability() {
+        let g = hypercube(3);
+        let seq = return_probabilities(&g, WalkKind::Lazy, 0, 6);
+        for (t, &p) in seq.iter().enumerate() {
+            let direct = step_probability(&g, WalkKind::Lazy, 0, 0, t);
+            assert!((p - direct).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn parity_on_bipartite_graphs() {
+        // non-lazy walk on a cycle of even length: odd-step returns are 0
+        let g = cycle(8);
+        let seq = return_probabilities(&g, WalkKind::Simple, 0, 7);
+        for t in (1..8).step_by(2) {
+            assert_eq!(seq[t], 0.0, "odd step {t}");
+        }
+        assert!(seq[2] > 0.0);
+    }
+
+    #[test]
+    fn lemma_c1_envelope_holds() {
+        for g in [cycle(10), complete(8), hypercube(4)] {
+            for t in 0..12 {
+                for &(u, v) in &[(0u32, 0u32), (0, 1), (1, 3)] {
+                    let p = step_probability(&g, WalkKind::Lazy, u, v, t);
+                    let bound = lemma_c1_bound(&g, WalkKind::Lazy, u, v, t);
+                    assert!(
+                        p <= bound + 1e-9,
+                        "p^{t}_{{{u},{v}}} = {p} exceeds Lemma C.1 bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn returns_converge_to_stationary() {
+        let g = complete(8);
+        let seq = return_probabilities(&g, WalkKind::Lazy, 0, 60);
+        let pi = 1.0 / 8.0;
+        assert!((seq.last().unwrap() - pi).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hypercube_expected_returns_bounded() {
+        // the Theorem 5.7 mechanism: expected returns within log²n steps on
+        // the hypercube stay O(1)
+        let g = hypercube(6); // n = 64, log2 n = 6
+        let t = 36; // (log2 n)²
+        let r = expected_returns(&g, WalkKind::Lazy, 0, t);
+        assert!(
+            r < 4.0,
+            "expected returns {r} should be O(1) on the hypercube"
+        );
+    }
+
+    #[test]
+    fn cycle_expected_returns_grow() {
+        // contrast: the cycle's returns over the same horizon grow like √t
+        let g = cycle(64);
+        let r_cyc = expected_returns(&g, WalkKind::Lazy, 0, 36);
+        let g = hypercube(6);
+        let r_hyp = expected_returns(&g, WalkKind::Lazy, 0, 36);
+        assert!(r_cyc > 1.5 * r_hyp, "cycle {r_cyc} vs hypercube {r_hyp}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Transition matrices of the simple and lazy random walk on a graph.
+//!
+//! The paper uses `P` for the non-lazy walk and `P̃ = (I + P)/2` for the lazy
+//! walk (Section 2). Both are materialised as dense matrices for exact
+//! computations on small graphs.
+
+use dispersion_graphs::Graph;
+use dispersion_linalg::Matrix;
+
+pub use dispersion_graphs::walk::WalkKind;
+
+/// Dense transition matrix `P[u][v] = Pr[next = v | now = u]`.
+///
+/// # Panics
+///
+/// Panics if some vertex has degree 0 (the walk would be undefined).
+pub fn transition_matrix(g: &Graph, kind: WalkKind) -> Matrix {
+    let n = g.n();
+    let mut p = Matrix::zeros(n, n);
+    for u in g.vertices() {
+        let deg = g.degree(u);
+        assert!(deg > 0, "vertex {u} is isolated; the walk is undefined");
+        let w = 1.0 / deg as f64;
+        for &v in g.neighbours(u) {
+            p[(u as usize, v as usize)] += w;
+        }
+    }
+    match kind {
+        WalkKind::Simple => p,
+        WalkKind::Lazy => {
+            // P̃ = (I + P) / 2
+            let mut lazy = p.scale(0.5);
+            for i in 0..n {
+                lazy[(i, i)] += 0.5;
+            }
+            lazy
+        }
+    }
+}
+
+/// The symmetric normalised matrix `N = D^{-1/2} A D^{-1/2}` (for
+/// [`WalkKind::Lazy`], `(I + N)/2`). `N` is similar to `P`, so they share a
+/// spectrum; `N` being symmetric lets us use the Jacobi eigensolver.
+pub fn normalized_adjacency(g: &Graph, kind: WalkKind) -> Matrix {
+    let n = g.n();
+    let mut m = Matrix::zeros(n, n);
+    let inv_sqrt: Vec<f64> = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v);
+            assert!(d > 0, "vertex {v} is isolated");
+            1.0 / (d as f64).sqrt()
+        })
+        .collect();
+    for u in g.vertices() {
+        for &v in g.neighbours(u) {
+            m[(u as usize, v as usize)] += inv_sqrt[u as usize] * inv_sqrt[v as usize];
+        }
+    }
+    match kind {
+        WalkKind::Simple => m,
+        WalkKind::Lazy => {
+            let mut lazy = m.scale(0.5);
+            for i in 0..n {
+                lazy[(i, i)] += 0.5;
+            }
+            lazy
+        }
+    }
+}
+
+/// Checks that every row of `p` sums to 1 within `tol`.
+pub fn is_row_stochastic(p: &Matrix, tol: f64) -> bool {
+    (0..p.rows()).all(|i| (p.row(i).iter().sum::<f64>() - 1.0).abs() <= tol)
+}
+
+/// The `t`-step transition matrix `P^t` by repeated squaring.
+pub fn matrix_power(p: &Matrix, t: usize) -> Matrix {
+    let mut result = Matrix::identity(p.rows());
+    let mut base = p.clone();
+    let mut e = t;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = result.matmul(&base);
+        }
+        e >>= 1;
+        if e > 0 {
+            base = base.matmul(&base);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dispersion_graphs::generators::{complete, cycle, path, star};
+
+    #[test]
+    fn simple_rows_stochastic() {
+        for g in [path(5), cycle(6), complete(4), star(5)] {
+            let p = transition_matrix(&g, WalkKind::Simple);
+            assert!(is_row_stochastic(&p, 1e-12));
+        }
+    }
+
+    #[test]
+    fn lazy_rows_stochastic_and_half_diagonal() {
+        let g = cycle(5);
+        let p = transition_matrix(&g, WalkKind::Lazy);
+        assert!(is_row_stochastic(&p, 1e-12));
+        for i in 0..5 {
+            assert!((p[(i, i)] - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn path_endpoint_transitions() {
+        let p = transition_matrix(&path(3), WalkKind::Simple);
+        assert_eq!(p[(0, 1)], 1.0);
+        assert_eq!(p[(1, 0)], 0.5);
+        assert_eq!(p[(1, 2)], 0.5);
+        assert_eq!(p[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn self_loop_probability() {
+        use dispersion_graphs::Graph;
+        let g = Graph::from_edges(2, &[(0, 1), (0, 0)]);
+        let p = transition_matrix(&g, WalkKind::Simple);
+        assert!((p[(0, 0)] - 0.5).abs() < 1e-12);
+        assert!((p[(0, 1)] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_adjacency_symmetric_same_spectrum_radius() {
+        let g = star(6);
+        assert!(normalized_adjacency(&g, WalkKind::Simple).is_symmetric(1e-12));
+        // Use the lazy form: the star is bipartite, so the simple walk has
+        // eigenvalues ±1 and power iteration cannot separate them.
+        let nmat = normalized_adjacency(&g, WalkKind::Lazy);
+        let (l1, _) = dispersion_linalg::power_iteration(&nmat, &[], 2000, 1e-14);
+        assert!((l1 - 1.0).abs() < 1e-6, "λ1 = {l1}");
+    }
+
+    #[test]
+    fn lazified_graph_matches_lazy_matrix() {
+        // Theorem 4.3's G̃ construction: simple walk on lazified graph ==
+        // lazy walk on the original.
+        let g = cycle(7);
+        let p_lazy = transition_matrix(&g, WalkKind::Lazy);
+        let p_tilde = transition_matrix(&g.lazified(), WalkKind::Simple);
+        assert!(p_lazy.max_abs_diff(&p_tilde) < 1e-12);
+    }
+
+    #[test]
+    fn matrix_power_agrees_with_iteration() {
+        let p = transition_matrix(&cycle(5), WalkKind::Lazy);
+        let mut iterated = Matrix::identity(5);
+        for _ in 0..7 {
+            iterated = iterated.matmul(&p);
+        }
+        assert!(matrix_power(&p, 7).max_abs_diff(&iterated) < 1e-12);
+        assert!(matrix_power(&p, 0).max_abs_diff(&Matrix::identity(5)) < 1e-15);
+    }
+}

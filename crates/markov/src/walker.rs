@@ -1,0 +1,240 @@
+//! Monte-Carlo simulation of single random walks: stepping, hitting times,
+//! cover times.
+
+use crate::transition::WalkKind;
+use dispersion_graphs::{Graph, Vertex};
+use rand::Rng;
+
+pub use dispersion_graphs::walk::step;
+
+/// A resumable random walk.
+#[derive(Clone, Debug)]
+pub struct Walk {
+    kind: WalkKind,
+    position: Vertex,
+    steps: u64,
+}
+
+impl Walk {
+    /// Starts a walk at `origin`.
+    pub fn new(kind: WalkKind, origin: Vertex) -> Self {
+        Walk { kind, position: origin, steps: 0 }
+    }
+
+    /// Current position.
+    pub fn position(&self) -> Vertex {
+        self.position
+    }
+
+    /// Number of steps taken so far (lazy holds count as steps).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Advances one step and returns the new position.
+    pub fn advance<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) -> Vertex {
+        self.position = step(g, self.kind, self.position, rng);
+        self.steps += 1;
+        self.position
+    }
+}
+
+/// Simulated hitting time of `target` from `from` (number of steps).
+///
+/// # Panics
+///
+/// Panics if the walk exceeds `cap` steps (guards against disconnected
+/// graphs); pass `u64::MAX` to disable.
+pub fn simulate_hitting_time<R: Rng + ?Sized>(
+    g: &Graph,
+    kind: WalkKind,
+    from: Vertex,
+    target: Vertex,
+    cap: u64,
+    rng: &mut R,
+) -> u64 {
+    let mut w = Walk::new(kind, from);
+    while w.position() != target {
+        assert!(w.steps() < cap, "hitting-time simulation exceeded cap {cap}");
+        w.advance(g, rng);
+    }
+    w.steps()
+}
+
+/// Simulated time to hit any vertex of `targets`.
+pub fn simulate_hitting_time_of_set<R: Rng + ?Sized>(
+    g: &Graph,
+    kind: WalkKind,
+    from: Vertex,
+    targets: &[Vertex],
+    cap: u64,
+    rng: &mut R,
+) -> u64 {
+    let mut is_target = vec![false; g.n()];
+    for &t in targets {
+        is_target[t as usize] = true;
+    }
+    let mut w = Walk::new(kind, from);
+    while !is_target[w.position() as usize] {
+        assert!(w.steps() < cap, "set-hitting simulation exceeded cap {cap}");
+        w.advance(g, rng);
+    }
+    w.steps()
+}
+
+/// Simulated cover time: steps until every vertex has been visited.
+pub fn simulate_cover_time<R: Rng + ?Sized>(
+    g: &Graph,
+    kind: WalkKind,
+    from: Vertex,
+    cap: u64,
+    rng: &mut R,
+) -> u64 {
+    let n = g.n();
+    let mut visited = vec![false; n];
+    visited[from as usize] = true;
+    let mut remaining = n - 1;
+    let mut w = Walk::new(kind, from);
+    while remaining > 0 {
+        assert!(w.steps() < cap, "cover-time simulation exceeded cap {cap}");
+        let v = w.advance(g, rng) as usize;
+        if !visited[v] {
+            visited[v] = true;
+            remaining -= 1;
+        }
+    }
+    w.steps()
+}
+
+/// Mean of `trials` simulated hitting times.
+pub fn mean_hitting_time<R: Rng + ?Sized>(
+    g: &Graph,
+    kind: WalkKind,
+    from: Vertex,
+    target: Vertex,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let total: u64 = (0..trials)
+        .map(|_| simulate_hitting_time(g, kind, from, target, u64::MAX, rng))
+        .sum();
+    total as f64 / trials as f64
+}
+
+/// Mean of `trials` simulated cover times.
+pub fn mean_cover_time<R: Rng + ?Sized>(
+    g: &Graph,
+    kind: WalkKind,
+    from: Vertex,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let total: u64 = (0..trials)
+        .map(|_| simulate_cover_time(g, kind, from, u64::MAX, rng))
+        .sum();
+    total as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hitting::hitting_time;
+    use dispersion_graphs::generators::{complete, cycle, path};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn step_stays_on_graph() {
+        let g = cycle(7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut u = 0;
+        for _ in 0..100 {
+            let v = step(&g, WalkKind::Simple, u, &mut rng);
+            assert!(g.has_edge(u, v));
+            u = v;
+        }
+    }
+
+    #[test]
+    fn lazy_step_stays_or_moves() {
+        let g = path(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut stays = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            if step(&g, WalkKind::Lazy, 1, &mut rng) == 1 {
+                stays += 1;
+            }
+        }
+        let frac = stays as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.05, "lazy fraction {frac}");
+    }
+
+    #[test]
+    fn simulated_hitting_matches_exact() {
+        let g = path(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sim = mean_hitting_time(&g, WalkKind::Simple, 0, 4, 3000, &mut rng);
+        let exact = hitting_time(&g, WalkKind::Simple, 0, 4); // 16
+        assert!(
+            (sim - exact).abs() < 0.1 * exact,
+            "sim {sim} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn walk_counts_steps() {
+        let g = complete(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut w = Walk::new(WalkKind::Simple, 0);
+        for _ in 0..10 {
+            w.advance(&g, &mut rng);
+        }
+        assert_eq!(w.steps(), 10);
+    }
+
+    #[test]
+    fn cover_time_at_least_n_minus_1() {
+        let g = cycle(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let c = simulate_cover_time(&g, WalkKind::Simple, 0, u64::MAX, &mut rng);
+            assert!(c >= 9);
+        }
+    }
+
+    #[test]
+    fn set_hitting_faster_than_point_hitting() {
+        let g = cycle(12);
+        let mut rng = StdRng::seed_from_u64(6);
+        let trials = 500;
+        let mut set_total = 0u64;
+        let mut point_total = 0u64;
+        for _ in 0..trials {
+            set_total +=
+                simulate_hitting_time_of_set(&g, WalkKind::Simple, 0, &[5, 6, 7], u64::MAX, &mut rng);
+            point_total += simulate_hitting_time(&g, WalkKind::Simple, 0, 6, u64::MAX, &mut rng);
+        }
+        assert!(set_total < point_total);
+    }
+
+    #[test]
+    fn coupon_collector_cover_time_on_clique() {
+        // E[cover(K_n)] ≈ (n-1) H_{n-1}.
+        let n = 12usize;
+        let g = complete(n);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sim = mean_cover_time(&g, WalkKind::Simple, 0, 2000, &mut rng);
+        let h: f64 = (1..n).map(|k| 1.0 / k as f64).sum();
+        let expect = (n - 1) as f64 * h;
+        assert!((sim - expect).abs() < 0.1 * expect, "sim {sim} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn cap_enforced() {
+        let g = path(50);
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = simulate_hitting_time(&g, WalkKind::Simple, 0, 49, 10, &mut rng);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the Markov-chain toolkit on random connected
+//! graphs: identities that must hold for every graph, not just the named
+//! families.
+
+use dispersion_graphs::{Graph, GraphBuilder, Vertex};
+use dispersion_markov::cover::{harmonic, matthews_upper_bound};
+use dispersion_markov::hitting::{
+    all_pairs_hitting, hitting_time_from_stationary, hitting_times_to_set,
+};
+use dispersion_markov::mixing::{lambda_star, mixing_time, relaxation_time};
+use dispersion_markov::resistance::effective_resistance;
+use dispersion_markov::stationary::stationary;
+use dispersion_markov::transition::{is_row_stochastic, transition_matrix, WalkKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24, any::<u64>(), 0usize..40).prop_map(|(n, seed, extra)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n {
+            let p = rng.random_range(0..v);
+            b.add_edge(p as Vertex, v as Vertex);
+        }
+        for _ in 0..extra {
+            let u = rng.random_range(0..n) as Vertex;
+            let v = rng.random_range(0..n) as Vertex;
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn transition_matrices_stochastic(g in connected_graph()) {
+        for kind in [WalkKind::Simple, WalkKind::Lazy] {
+            prop_assert!(is_row_stochastic(&transition_matrix(&g, kind), 1e-10));
+        }
+    }
+
+    #[test]
+    fn stationary_is_invariant(g in connected_graph()) {
+        let pi = stationary(&g);
+        for kind in [WalkKind::Simple, WalkKind::Lazy] {
+            let next = transition_matrix(&g, kind).vecmat(&pi);
+            for (a, b) in pi.iter().zip(&next) {
+                prop_assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn commute_time_identity(g in connected_graph()) {
+        // t_com(u, v) = 2m·R(u, v) — hitting-time solver vs Laplacian solver
+        let h = all_pairs_hitting(&g, WalkKind::Simple);
+        let m = g.m() as f64;
+        let n = g.n();
+        for (u, v) in [(0usize, n - 1), (0, n / 2)] {
+            if u == v { continue; }
+            let commute = h[(u, v)] + h[(v, u)];
+            let r = effective_resistance(&g, u as Vertex, v as Vertex);
+            prop_assert!((commute - 2.0 * m * r).abs() < 1e-5 * commute.max(1.0),
+                "commute {commute} vs 2mR {}", 2.0 * m * r);
+        }
+    }
+
+    #[test]
+    fn lazy_exactly_doubles_hitting(g in connected_graph()) {
+        let hs = all_pairs_hitting(&g, WalkKind::Simple);
+        let hl = all_pairs_hitting(&g, WalkKind::Lazy);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                prop_assert!((hl[(u, v)] - 2.0 * hs[(u, v)]).abs() < 1e-6 * hs[(u, v)].max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn set_hitting_monotone_in_set(g in connected_graph()) {
+        let n = g.n();
+        let small = vec![0 as Vertex];
+        let big: Vec<Vertex> = (0..(n / 2 + 1) as Vertex).collect();
+        let hs = hitting_times_to_set(&g, WalkKind::Simple, &small);
+        let hb = hitting_times_to_set(&g, WalkKind::Simple, &big);
+        for v in 0..n {
+            prop_assert!(hb[v] <= hs[v] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_target_identity(g in connected_graph()) {
+        // E_π[τ_v] ≥ 0 with equality only at stationary start on v;
+        // plus the "eigentime"-style sanity: t_hit(π, {v}) ≤ max_u t_hit(u, v).
+        let h = all_pairs_hitting(&g, WalkKind::Simple);
+        for v in 0..g.n() {
+            let from_pi = hitting_time_from_stationary(&g, WalkKind::Simple, &[v as Vertex]);
+            let max_u = (0..g.n()).map(|u| h[(u, v)]).fold(0.0, f64::max);
+            prop_assert!(from_pi <= max_u + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mixing_time_dominates_relaxation_bound(g in connected_graph()) {
+        // t_mix(1/4) ≥ (t_rel − 1)·ln 2 for lazy chains
+        if let Some(t) = mixing_time(&g, WalkKind::Lazy, 0.25, 1 << 18) {
+            let lower = (relaxation_time(&g, WalkKind::Lazy) - 1.0) * (2.0f64).ln();
+            prop_assert!(t as f64 >= lower - 1.0, "t_mix {t} vs spectral lower {lower}");
+        } else {
+            prop_assert!(false, "lazy chain failed to mix");
+        }
+    }
+
+    #[test]
+    fn lazy_lambda_star_below_one(g in connected_graph()) {
+        let l = lambda_star(&g, WalkKind::Lazy);
+        prop_assert!(l < 1.0 - 1e-9, "lazy chain must be aperiodic, λ* = {l}");
+        prop_assert!(l >= -1e-9);
+    }
+
+    #[test]
+    fn matthews_dominates_max_hitting(g in connected_graph()) {
+        // cover time >= max hitting time, and Matthews >= both
+        let h = all_pairs_hitting(&g, WalkKind::Simple);
+        let mut thit: f64 = 0.0;
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                thit = thit.max(h[(u, v)]);
+            }
+        }
+        let matthews = matthews_upper_bound(&g, WalkKind::Simple);
+        prop_assert!(matthews >= thit - 1e-9);
+        prop_assert!((matthews - harmonic(g.n() - 1) * thit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resistance_never_exceeds_distance(g in connected_graph()) {
+        // R(u, v) ≤ graph distance (series upper bound via any path)
+        use dispersion_graphs::traversal::bfs_distances;
+        let d = bfs_distances(&g, 0);
+        for v in 1..g.n() {
+            let r = effective_resistance(&g, 0, v as Vertex);
+            prop_assert!(r <= d[v] as f64 + 1e-9, "R(0,{v}) = {r} > dist {}", d[v]);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! High-level experiment drivers: estimate dispersion times of any process
+//! variant over many parallel trials.
+
+use crate::parallel::par_samples;
+use crate::stats::Summary;
+use dispersion_core::process::continuous::{run_continuous_sequential, run_ctu};
+use dispersion_core::process::parallel::run_parallel;
+use dispersion_core::process::sequential::run_sequential;
+use dispersion_core::process::uniform::run_uniform;
+use dispersion_core::process::ProcessConfig;
+use dispersion_graphs::{Graph, Vertex};
+
+/// Which dispersion process to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Process {
+    /// Sequential-IDLA (dispersion = longest walk, in steps).
+    Sequential,
+    /// Parallel-IDLA (dispersion = rounds until the last particle settles).
+    Parallel,
+    /// Uniform-IDLA (dispersion = global ticks).
+    Uniform,
+    /// Continuous-time Uniform IDLA (dispersion = real time).
+    Ctu,
+    /// Continuous-time Sequential-IDLA (dispersion = real time).
+    ContinuousSequential,
+}
+
+impl Process {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Process::Sequential => "seq",
+            Process::Parallel => "par",
+            Process::Uniform => "unif",
+            Process::Ctu => "ctu",
+            Process::ContinuousSequential => "cseq",
+        }
+    }
+
+    /// Runs one realization and returns its dispersion time in the process's
+    /// native unit (steps, rounds, ticks or real time).
+    pub fn dispersion_time<R: rand::Rng + ?Sized>(
+        self,
+        g: &Graph,
+        origin: Vertex,
+        cfg: &ProcessConfig,
+        rng: &mut R,
+    ) -> f64 {
+        match self {
+            Process::Sequential => run_sequential(g, origin, cfg, rng).dispersion_time as f64,
+            Process::Parallel => run_parallel(g, origin, cfg, rng).dispersion_time as f64,
+            Process::Uniform => run_uniform(g, origin, cfg, rng).settle_tick as f64,
+            Process::Ctu => run_ctu(g, origin, cfg, rng).settle_time,
+            Process::ContinuousSequential => {
+                run_continuous_sequential(g, origin, cfg, rng).settle_time
+            }
+        }
+    }
+}
+
+/// Draws `trials` dispersion-time samples of `process` on `g` from `origin`
+/// across `threads` workers, deterministically in `seed`.
+pub fn dispersion_samples(
+    g: &Graph,
+    origin: Vertex,
+    process: Process,
+    cfg: &ProcessConfig,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> Vec<f64> {
+    par_samples(trials, threads, seed, |_, rng| {
+        process.dispersion_time(g, origin, cfg, rng)
+    })
+}
+
+/// Summary of [`dispersion_samples`].
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_dispersion(
+    g: &Graph,
+    origin: Vertex,
+    process: Process,
+    cfg: &ProcessConfig,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> Summary {
+    Summary::from_samples(&dispersion_samples(g, origin, process, cfg, trials, threads, seed))
+}
+
+/// Draws `trials` samples of the *total* number of steps (all particles),
+/// the quantity that Theorem 4.1 shows is equidistributed between the
+/// sequential and parallel processes.
+pub fn total_steps_samples(
+    g: &Graph,
+    origin: Vertex,
+    process: Process,
+    cfg: &ProcessConfig,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> Vec<f64> {
+    par_samples(trials, threads, seed, |_, rng| match process {
+        Process::Sequential => run_sequential(g, origin, cfg, rng).total_steps as f64,
+        Process::Parallel => run_parallel(g, origin, cfg, rng).total_steps as f64,
+        Process::Uniform => run_uniform(g, origin, cfg, rng).outcome.total_steps as f64,
+        Process::Ctu => run_ctu(g, origin, cfg, rng).outcome.total_steps as f64,
+        Process::ContinuousSequential => {
+            run_continuous_sequential(g, origin, cfg, rng).outcome.total_steps as f64
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::{consistent_with_dominance, ks_p_value};
+    use dispersion_graphs::generators::{complete, cycle};
+
+    #[test]
+    fn sequential_estimate_on_clique_near_kappa_cc() {
+        let n = 256usize;
+        let g = complete(n);
+        let s = estimate_dispersion(
+            &g,
+            0,
+            Process::Sequential,
+            &ProcessConfig::simple(),
+            300,
+            4,
+            1,
+        );
+        let ratio = s.mean / n as f64;
+        // κ_cc ≈ 1.255
+        assert!((1.0..1.6).contains(&ratio), "t_seq/n = {ratio}");
+    }
+
+    #[test]
+    fn parallel_estimate_on_clique_near_pi2_over_6() {
+        let n = 256usize;
+        let g = complete(n);
+        let s = estimate_dispersion(&g, 0, Process::Parallel, &ProcessConfig::simple(), 300, 4, 2);
+        let ratio = s.mean / n as f64;
+        // π²/6 ≈ 1.645
+        assert!((1.3..2.0).contains(&ratio), "t_par/n = {ratio}");
+    }
+
+    #[test]
+    fn theorem_4_1_statistics_on_cycle() {
+        let g = cycle(24);
+        let cfg = ProcessConfig::simple();
+        let seq = dispersion_samples(&g, 0, Process::Sequential, &cfg, 800, 4, 3);
+        let par = dispersion_samples(&g, 0, Process::Parallel, &cfg, 800, 4, 4);
+        // stochastic dominance τ_seq ⪯ τ_par up to sampling noise
+        assert!(consistent_with_dominance(&seq, &par, 0.08));
+        // total steps equidistributed
+        let ts = total_steps_samples(&g, 0, Process::Sequential, &cfg, 800, 4, 5);
+        let tp = total_steps_samples(&g, 0, Process::Parallel, &cfg, 800, 4, 6);
+        let p = ks_p_value(&ts, &tp);
+        assert!(p > 0.001, "total-steps KS p-value {p}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = cycle(16);
+        let cfg = ProcessConfig::simple();
+        let a = dispersion_samples(&g, 0, Process::Parallel, &cfg, 50, 2, 42);
+        let b = dispersion_samples(&g, 0, Process::Parallel, &cfg, 50, 8, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_process_labels_distinct() {
+        let ps = [
+            Process::Sequential,
+            Process::Parallel,
+            Process::Uniform,
+            Process::Ctu,
+            Process::ContinuousSequential,
+        ];
+        let mut labels: Vec<_> = ps.iter().map(|p| p.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), ps.len());
+    }
+}

@@ -1,0 +1,40 @@
+//! # dispersion-sim
+//!
+//! Monte-Carlo harness for the dispersion-time reproduction:
+//!
+//! * [`rng::Xoshiro256pp`] — fast seedable RNG behind the `rand` traits,
+//! * [`parallel::par_trials`] — deterministic trial-level multithreading,
+//! * [`stats::Summary`] — means, CIs, quantiles,
+//! * [`dominance`] — KS tests and empirical stochastic-dominance checks
+//!   (the statistics behind the Theorem 4.1 verification),
+//! * [`fit`] — `a·n^b·(ln n)^c` scaling-law fitting for Table 1 shapes,
+//! * [`experiment`] — one-call dispersion-time estimation for any process,
+//! * [`table`] — text/CSV output.
+//!
+//! ```
+//! use dispersion_graphs::generators::complete;
+//! use dispersion_sim::experiment::{estimate_dispersion, Process};
+//! use dispersion_core::process::ProcessConfig;
+//!
+//! let g = complete(64);
+//! let s = estimate_dispersion(&g, 0, Process::Sequential,
+//!                             &ProcessConfig::simple(), 100, 2, 7);
+//! assert!(s.mean > 64.0); // t_seq(K_n) ≈ 1.255 n
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dominance;
+pub mod experiment;
+pub mod fit;
+pub mod histogram;
+pub mod parallel;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use experiment::{dispersion_samples, estimate_dispersion, Process};
+pub use parallel::{default_threads, par_trials};
+pub use rng::Xoshiro256pp;
+pub use stats::Summary;

@@ -1,0 +1,157 @@
+//! Summary statistics for Monte-Carlo samples.
+
+/// Summary of a sample: moments, a normal-approximation confidence interval,
+/// and order statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub var: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes a summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std = var.sqrt();
+        let sem = std / (n as f64).sqrt();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = quantile_sorted(&sorted, 0.5);
+        Summary {
+            n,
+            mean,
+            var,
+            std,
+            sem,
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        }
+    }
+
+    /// 95% normal-approximation confidence interval for the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.sem;
+        (self.mean - half, self.mean + half)
+    }
+
+    /// Relative half-width of the 95% CI (`1.96·sem / mean`); `inf` for a
+    /// zero mean.
+    pub fn relative_ci(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            1.96 * self.sem / self.mean.abs()
+        }
+    }
+}
+
+/// `p`-quantile of a sample (linear interpolation).
+///
+/// # Panics
+///
+/// Panics on an empty sample or `p ∉ [0, 1]`.
+pub fn quantile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    quantile_sorted(&sorted, p)
+}
+
+fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p = {p} out of range");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = p * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample() {
+        let s = Summary::from_samples(&[3.0; 10]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.var, 0.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.ci95(), (3.0, 3.0));
+    }
+
+    #[test]
+    fn known_small_sample() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.var - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 0.25), 2.0);
+        // unsorted input handled
+        let ys = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&ys, 0.5), 3.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[7.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.var, 0.0);
+        assert_eq!(s.sem, 0.0);
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn ci_narrows_with_n() {
+        let small = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        let big_data: Vec<f64> = (0..400).map(|i| 1.0 + (i % 4) as f64).collect();
+        let big = Summary::from_samples(&big_data);
+        assert!(big.sem < small.sem);
+        assert!(big.relative_ci() < small.relative_ci());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        let _ = Summary::from_samples(&[]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Dispersion as local-search load balancing.
+//!
+//! The paper motivates dispersion processes as "simple local protocols for
+//! resource allocation": `n` jobs start at one hot node of a cluster and
+//! each migrates along network links until it finds a free machine (cf. the
+//! QoS load-balancing model and local-search reallocation schemes cited in
+//! Section 1).
+//!
+//! This example compares the sequential protocol (a coordinator releases
+//! jobs one at a time) with the parallel protocol (all jobs migrate
+//! concurrently) on a random 5-regular "cluster network", and reports both
+//! the makespan proxy (dispersion time) and the total network traffic
+//! (total steps) — which Theorem 4.1 proves has the *same distribution*
+//! under both schedulers.
+//!
+//! ```text
+//! cargo run --release --example load_balancing
+//! ```
+
+use dispersion_core::process::parallel::run_parallel;
+use dispersion_core::process::sequential::run_sequential;
+use dispersion_core::process::ProcessConfig;
+use dispersion_graphs::generators::random_regular_connected;
+use dispersion_sim::dominance::ks_p_value;
+use dispersion_sim::parallel::par_samples;
+use dispersion_sim::stats::Summary;
+use dispersion_sim::Xoshiro256pp;
+
+fn main() {
+    let machines = 1024;
+    let degree = 5;
+    let trials = 200;
+    let cfg = ProcessConfig::simple();
+
+    let mut grng = Xoshiro256pp::new(0xC1);
+    let cluster = random_regular_connected(machines, degree, &mut grng);
+    println!(
+        "cluster: random {degree}-regular network on {machines} machines, all jobs start at node 0\n"
+    );
+
+    let seq_disp = par_samples(trials, 0, 21, |_, rng| {
+        run_sequential(&cluster, 0, &cfg, rng).dispersion_time as f64
+    });
+    let par_disp = par_samples(trials, 0, 22, |_, rng| {
+        run_parallel(&cluster, 0, &cfg, rng).dispersion_time as f64
+    });
+    let seq_traffic = par_samples(trials, 0, 23, |_, rng| {
+        run_sequential(&cluster, 0, &cfg, rng).total_steps as f64
+    });
+    let par_traffic = par_samples(trials, 0, 24, |_, rng| {
+        run_parallel(&cluster, 0, &cfg, rng).total_steps as f64
+    });
+
+    let sd = Summary::from_samples(&seq_disp);
+    let pd = Summary::from_samples(&par_disp);
+    let st = Summary::from_samples(&seq_traffic);
+    let pt = Summary::from_samples(&par_traffic);
+
+    println!("worst job migration count (dispersion time):");
+    println!("  sequential release : {:8.1} hops", sd.mean);
+    println!("  parallel release   : {:8.1} hops ({:.2}× worse)", pd.mean, pd.mean / sd.mean);
+    println!("  (expanders: Θ(n/n)=Θ(1) per-job average, worst job Θ(log-ish); Table 1 row 'expanders': t = Θ(n) total scale)\n");
+
+    println!("total network traffic (all jobs):");
+    println!("  sequential release : {:8.1} hops", st.mean);
+    println!("  parallel release   : {:8.1} hops", pt.mean);
+    let p = ks_p_value(&seq_traffic, &par_traffic);
+    println!("  KS p-value         : {p:.3}  (Theorem 4.1: identical distributions)");
+    println!("\ntakeaway: parallel release finishes the *last* job later, but the");
+    println!("total work is exactly the same — scheduling redistributes, never adds.");
+}
