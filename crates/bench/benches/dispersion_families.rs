@@ -25,7 +25,11 @@ fn bench_processes(c: &mut Criterion) {
         Family::Torus3d,
         Family::RandomRegular(5),
     ] {
-        let size = if matches!(family, Family::Cycle) { 64 } else { 256 };
+        let size = if matches!(family, Family::Cycle) {
+            64
+        } else {
+            256
+        };
         let inst = family.instance(size, &mut grng);
         let g = inst.graph.clone();
         let origin = inst.origin;
@@ -61,7 +65,9 @@ fn bench_recording_overhead(c: &mut Criterion) {
     let rec = ProcessConfig::simple().recording();
     c.bench_function("seq/clique/plain", |b| {
         let mut rng = Xoshiro256pp::new(11);
-        b.iter(|| black_box(run_sequential(&inst.graph, inst.origin, &plain, &mut rng).total_steps));
+        b.iter(|| {
+            black_box(run_sequential(&inst.graph, inst.origin, &plain, &mut rng).total_steps)
+        });
     });
     c.bench_function("seq/clique/recorded", |b| {
         let mut rng = Xoshiro256pp::new(11);

@@ -109,7 +109,9 @@ mod tests {
 
     #[test]
     fn parses_flags_and_positional() {
-        let o = parse(&["cycle", "--trials", "50", "--seed", "9", "--sizes", "8,16,32", "--csv"]);
+        let o = parse(&[
+            "cycle", "--trials", "50", "--seed", "9", "--sizes", "8,16,32", "--csv",
+        ]);
         assert_eq!(o.positional, vec!["cycle"]);
         assert_eq!(o.trials, 50);
         assert_eq!(o.seed, 9);

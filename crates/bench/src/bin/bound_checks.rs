@@ -16,10 +16,10 @@ use dispersion_bounds::upper::{thm31_whp_threshold, thm33_spectral, thm35_spectr
 use dispersion_core::process::ProcessConfig;
 use dispersion_graphs::families::Family;
 use dispersion_graphs::traversal::is_tree;
+use dispersion_markov::transition::WalkKind;
 use dispersion_sim::experiment::{dispersion_samples, Process};
 use dispersion_sim::rng::Xoshiro256pp;
 use dispersion_sim::table::{fmt_f, TextTable};
-use dispersion_markov::transition::WalkKind;
 
 fn main() {
     let opts = Options::from_env();
@@ -33,10 +33,19 @@ fn main() {
         Family::Torus2d,
     ];
 
-    println!("# Section 3 bound checks (n ≈ {n}, trials = {})\n", opts.trials);
+    println!(
+        "# Section 3 bound checks (n ≈ {n}, trials = {})\n",
+        opts.trials
+    );
     println!("## Upper bounds (simple walks for Thm 3.1; lazy for Thm 3.3/3.5)");
     let mut up = TextTable::new([
-        "family", "E[τ_par]", "thm3.1 whp", "exceed%", "max τ_par", "thm3.3(lazy)", "thm3.5(lazy)",
+        "family",
+        "E[τ_par]",
+        "thm3.1 whp",
+        "exceed%",
+        "max τ_par",
+        "thm3.3(lazy)",
+        "thm3.5(lazy)",
     ]);
     let cfg = ProcessConfig::simple();
     let lazy = ProcessConfig::lazy();
@@ -45,8 +54,24 @@ fn main() {
         let inst = family.instance(n, &mut grng);
         let g = &inst.graph;
         let s0 = opts.seed + 31 * k as u64;
-        let par = dispersion_samples(g, inst.origin, Process::Parallel, &cfg, opts.trials, opts.threads, s0);
-        let par_lazy = dispersion_samples(g, inst.origin, Process::Parallel, &lazy, opts.trials, opts.threads, s0 + 1);
+        let par = dispersion_samples(
+            g,
+            inst.origin,
+            Process::Parallel,
+            &cfg,
+            opts.trials,
+            opts.threads,
+            s0,
+        );
+        let par_lazy = dispersion_samples(
+            g,
+            inst.origin,
+            Process::Parallel,
+            &lazy,
+            opts.trials,
+            opts.threads,
+            s0 + 1,
+        );
         let threshold = thm31_whp_threshold(g, WalkKind::Simple);
         let exceed = par.iter().filter(|&&x| x > threshold).count() as f64 / par.len() as f64;
         let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
@@ -62,21 +87,48 @@ fn main() {
         ]);
     }
     print!("{}", if opts.csv { up.to_csv() } else { up.render() });
-    println!("\n(exceed% should be ~0; thm3.3/3.5 columns must dominate 'max τ_par' of the lazy runs)");
+    println!(
+        "\n(exceed% should be ~0; thm3.3/3.5 columns must dominate 'max τ_par' of the lazy runs)"
+    );
 
     println!("\n## Lower bounds (Thm 3.6 / Thm 3.7 / Prop 3.9)");
     let mut lo = TextTable::new([
-        "family", "E[τ_seq]", "|E|/Δ", "tree 2n-3", "t_mix(lazy)", "E[τ_seq,lazy]",
+        "family",
+        "E[τ_seq]",
+        "|E|/Δ",
+        "tree 2n-3",
+        "t_mix(lazy)",
+        "E[τ_seq,lazy]",
     ]);
     for (k, family) in families.iter().enumerate() {
         let mut grng = Xoshiro256pp::new(opts.seed ^ (k as u64) << 5);
         let inst = family.instance(n, &mut grng);
         let g = &inst.graph;
         let s0 = opts.seed + 77 * k as u64;
-        let seq = dispersion_samples(g, inst.origin, Process::Sequential, &cfg, opts.trials, opts.threads, s0);
-        let seq_lazy = dispersion_samples(g, inst.origin, Process::Sequential, &lazy, opts.trials, opts.threads, s0 + 1);
+        let seq = dispersion_samples(
+            g,
+            inst.origin,
+            Process::Sequential,
+            &cfg,
+            opts.trials,
+            opts.threads,
+            s0,
+        );
+        let seq_lazy = dispersion_samples(
+            g,
+            inst.origin,
+            Process::Sequential,
+            &lazy,
+            opts.trials,
+            opts.threads,
+            s0 + 1,
+        );
         let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
-        let tree_bound = if is_tree(g) { fmt_f(thm37_tree_lower(g)) } else { "-".into() };
+        let tree_bound = if is_tree(g) {
+            fmt_f(thm37_tree_lower(g))
+        } else {
+            "-".into()
+        };
         lo.push_row([
             inst.label.to_string(),
             fmt_f(mean(&seq)),

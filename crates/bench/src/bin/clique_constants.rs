@@ -28,11 +28,21 @@ fn main() {
     for (k, &n) in sizes.iter().enumerate() {
         let g = complete(n);
         let seq = estimate_dispersion(
-            &g, 0, Process::Sequential, &cfg, opts.trials, opts.threads,
+            &g,
+            0,
+            Process::Sequential,
+            &cfg,
+            opts.trials,
+            opts.threads,
             opts.seed + 2 * k as u64,
         );
         let par = estimate_dispersion(
-            &g, 0, Process::Parallel, &cfg, opts.trials, opts.threads,
+            &g,
+            0,
+            Process::Parallel,
+            &cfg,
+            opts.trials,
+            opts.threads,
             opts.seed + 2 * k as u64 + 1,
         );
         let nf = n as f64;

@@ -45,7 +45,9 @@ fn main() {
         fmt_f(slow_frac),
     ]);
     print!("{}", t.render());
-    println!("(paper: slow branch has probability ≈ 1/e ≈ 0.368; median ≪ mean ⇒ no concentration)");
+    println!(
+        "(paper: slow branch has probability ≈ 1/e ≈ 0.368; median ≪ mean ⇒ no concentration)"
+    );
     // log-scale histogram makes the two branches visible
     let logs: Vec<f64> = samples.iter().map(|x| x.max(1.0).ln()).collect();
     let h = Histogram::from_samples(&logs, 14);
@@ -63,7 +65,12 @@ fn main() {
     let slow2 = samples2.iter().filter(|&&x| x > split).count() as f64 / samples2.len() as f64;
     println!("## Prop 2.1 (G₂ = hair on a pimple, pimple = {pimple}), n = {n}");
     let mut t2 = TextTable::new(["mean", "median", "max", "Pr[≥ n^1.5]"]);
-    t2.push_row([fmt_f(s2.mean), fmt_f(s2.median), fmt_f(s2.max), fmt_f(slow2)]);
+    t2.push_row([
+        fmt_f(s2.mean),
+        fmt_f(s2.median),
+        fmt_f(s2.max),
+        fmt_f(slow2),
+    ]);
     print!("{}", t2.render());
     println!("(paper: E ≈ Θ(n) but Pr[Ω(n²)] = Ω(1/n) — rare catastrophic runs)\n");
 
@@ -78,7 +85,10 @@ fn main() {
         run_sequential(&g3, root, &cfg, rng).dispersion_time as f64
     });
     let s3 = Summary::from_samples(&samples3);
-    println!("## Prop 3.8 (binary tree {tree_n} + path {path_len}), n = {}", g3.n());
+    println!(
+        "## Prop 3.8 (binary tree {tree_n} + path {path_len}), n = {}",
+        g3.n()
+    );
     let mut t3 = TextTable::new(["t_hit (exact)", "E[τ_seq]", "t_hit / t_seq"]);
     t3.push_row([fmt_f(thit), fmt_f(s3.mean), fmt_f(thit / s3.mean)]);
     print!("{}", t3.render());
@@ -87,7 +97,10 @@ fn main() {
     // ---- Prop A.1: modified stopping rule ----
     let nf = n as f64;
     let (g4, v4, v_star4) = clique_with_hair(n);
-    let rule = DelayedExcept { threshold: (3.0 * nf * nf.ln()) as u64, special: v_star4 };
+    let rule = DelayedExcept {
+        threshold: (3.0 * nf * nf.ln()) as u64,
+        special: v_star4,
+    };
     let std_samples = par_samples(opts.trials, opts.threads, opts.seed + 3, |_, rng| {
         run_sequential(&g4, v4, &cfg, rng).dispersion_time as f64
     });
@@ -98,8 +111,18 @@ fn main() {
     let sm = Summary::from_samples(&mod_samples);
     println!("## Prop A.1 (no least-action principle), G₁, n = {n}");
     let mut t4 = TextTable::new(["rule", "mean", "median", "max"]);
-    t4.push_row(["first-vacant".to_string(), fmt_f(ss.mean), fmt_f(ss.median), fmt_f(ss.max)]);
-    t4.push_row(["ρ̃ (delayed)".to_string(), fmt_f(sm.mean), fmt_f(sm.median), fmt_f(sm.max)]);
+    t4.push_row([
+        "first-vacant".to_string(),
+        fmt_f(ss.mean),
+        fmt_f(ss.median),
+        fmt_f(ss.max),
+    ]);
+    t4.push_row([
+        "ρ̃ (delayed)".to_string(),
+        fmt_f(sm.mean),
+        fmt_f(sm.median),
+        fmt_f(sm.max),
+    ]);
     print!("{}", t4.render());
     println!("(paper: the delayed rule is O(n log n) while first-vacant is Ω(n²) w.p. Ω(1))");
 }

@@ -22,22 +22,67 @@ fn main() {
     let opts = Options::from_env();
     let n = opts.sizes_or(&[128])[0];
     let cfg = ProcessConfig::simple();
-    let families = [Family::Complete, Family::Cycle, Family::Hypercube, Family::BinaryTree];
+    let families = [
+        Family::Complete,
+        Family::Cycle,
+        Family::Hypercube,
+        Family::BinaryTree,
+    ];
 
-    println!("# Section 4 coupling checks (n ≈ {n}, trials = {})\n", opts.trials);
+    println!(
+        "# Section 4 coupling checks (n ≈ {n}, trials = {})\n",
+        opts.trials
+    );
     println!("## Theorem 4.1: τ_seq ⪯ τ_par and total steps equidistributed");
     let mut t = TextTable::new([
-        "family", "E[τ_seq]", "E[τ_par]", "par/seq", "dom.violation", "KS p(total)",
+        "family",
+        "E[τ_seq]",
+        "E[τ_par]",
+        "par/seq",
+        "dom.violation",
+        "KS p(total)",
     ]);
     for (k, family) in families.iter().enumerate() {
         let mut grng = Xoshiro256pp::new(opts.seed ^ (k as u64) << 8);
         let inst = family.instance(n, &mut grng);
         let g = &inst.graph;
         let s0 = opts.seed + 100 * k as u64;
-        let seq = dispersion_samples(g, inst.origin, Process::Sequential, &cfg, opts.trials, opts.threads, s0);
-        let par = dispersion_samples(g, inst.origin, Process::Parallel, &cfg, opts.trials, opts.threads, s0 + 1);
-        let ts = total_steps_samples(g, inst.origin, Process::Sequential, &cfg, opts.trials, opts.threads, s0 + 2);
-        let tp = total_steps_samples(g, inst.origin, Process::Parallel, &cfg, opts.trials, opts.threads, s0 + 3);
+        let seq = dispersion_samples(
+            g,
+            inst.origin,
+            Process::Sequential,
+            &cfg,
+            opts.trials,
+            opts.threads,
+            s0,
+        );
+        let par = dispersion_samples(
+            g,
+            inst.origin,
+            Process::Parallel,
+            &cfg,
+            opts.trials,
+            opts.threads,
+            s0 + 1,
+        );
+        let ts = total_steps_samples(
+            g,
+            inst.origin,
+            Process::Sequential,
+            &cfg,
+            opts.trials,
+            opts.threads,
+            s0 + 2,
+        );
+        let tp = total_steps_samples(
+            g,
+            inst.origin,
+            Process::Parallel,
+            &cfg,
+            opts.trials,
+            opts.threads,
+            s0 + 3,
+        );
         let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
         t.push_row([
             inst.label.to_string(),
@@ -49,7 +94,9 @@ fn main() {
         ]);
     }
     print!("{}", if opts.csv { t.to_csv() } else { t.render() });
-    println!("\n(dominance violation ≈ 0 supports τ_seq ⪯ τ_par; KS p ≫ 0 supports equidistribution)");
+    println!(
+        "\n(dominance violation ≈ 0 supports τ_seq ⪯ τ_par; KS p ≫ 0 supports equidistribution)"
+    );
 
     println!("\n## Theorem 4.2: E[τ_par] ≤ O(log n · E[τ_seq]) — ratio vs log n");
     let mut t2 = TextTable::new(["family", "n", "par/seq", "ln n", "ratio/ln n"]);
@@ -57,8 +104,24 @@ fn main() {
         let mut grng = Xoshiro256pp::new(opts.seed ^ (k as u64) << 9);
         let inst = family.instance(n, &mut grng);
         let s0 = opts.seed + 500 * (k as u64 + 1);
-        let seq = dispersion_samples(&inst.graph, inst.origin, Process::Sequential, &cfg, opts.trials, opts.threads, s0);
-        let par = dispersion_samples(&inst.graph, inst.origin, Process::Parallel, &cfg, opts.trials, opts.threads, s0 + 1);
+        let seq = dispersion_samples(
+            &inst.graph,
+            inst.origin,
+            Process::Sequential,
+            &cfg,
+            opts.trials,
+            opts.threads,
+            s0,
+        );
+        let par = dispersion_samples(
+            &inst.graph,
+            inst.origin,
+            Process::Parallel,
+            &cfg,
+            opts.trials,
+            opts.threads,
+            s0 + 1,
+        );
         let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
         let ratio = mean(&par) / mean(&seq);
         let nn = inst.graph.n() as f64;
@@ -90,7 +153,8 @@ fn main() {
         let round1 = parallel_to_sequential(&stp) == sb;
         let round2 = sequential_to_parallel(&pts) == pb;
         let valid = is_parallel_block(&stp) && is_sequential_block(&pts);
-        let lengths = stp.total_length() == sb.total_length() && pts.total_length() == pb.total_length();
+        let lengths =
+            stp.total_length() == sb.total_length() && pts.total_length() == pb.total_length();
         let lemma46 = stp.max_row_length() >= sb.max_row_length();
         if round1 && round2 && valid && lengths && lemma46 {
             ok += 1;

@@ -15,7 +15,11 @@ use dispersion_sim::table::{fmt_f, TextTable};
 fn main() {
     let opts = Options::from_env();
     let sizes = opts.sizes_or(&[64, 128, 256, 512]);
-    let families = [Family::Complete, Family::Hypercube, Family::RandomRegular(5)];
+    let families = [
+        Family::Complete,
+        Family::Hypercube,
+        Family::RandomRegular(5),
+    ];
     let cfg = ProcessConfig::simple();
 
     println!("# Theorem 4.8: τ_ctu / τ_par → 1\n");
@@ -25,8 +29,24 @@ fn main() {
             let mut grng = Xoshiro256pp::new(opts.seed ^ ((fk * 16 + k) as u64) << 4);
             let inst = family.instance(n, &mut grng);
             let s0 = opts.seed + (fk * 777 + k * 11) as u64;
-            let ctu = estimate_dispersion(&inst.graph, inst.origin, Process::Ctu, &cfg, opts.trials, opts.threads, s0);
-            let par = estimate_dispersion(&inst.graph, inst.origin, Process::Parallel, &cfg, opts.trials, opts.threads, s0 + 1);
+            let ctu = estimate_dispersion(
+                &inst.graph,
+                inst.origin,
+                Process::Ctu,
+                &cfg,
+                opts.trials,
+                opts.threads,
+                s0,
+            );
+            let par = estimate_dispersion(
+                &inst.graph,
+                inst.origin,
+                Process::Parallel,
+                &cfg,
+                opts.trials,
+                opts.threads,
+                s0 + 1,
+            );
             t.push_row([
                 inst.label.to_string(),
                 inst.graph.n().to_string(),

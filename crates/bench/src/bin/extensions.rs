@@ -41,7 +41,9 @@ fn main() {
                 opts.trials,
                 opts.threads,
                 opts.seed + (100 * fk + ki) as u64,
-                |_, rng| run_parallel_k(&inst.graph, inst.origin, k, &cfg, rng).dispersion_time as f64,
+                |_, rng| {
+                    run_parallel_k(&inst.graph, inst.origin, k, &cfg, rng).dispersion_time as f64
+                },
             );
             let s = Summary::from_samples(&samples);
             t.push_row([inst.label.to_string(), format!("{frac:.2}"), fmt_f(s.mean)]);
@@ -53,18 +55,32 @@ fn main() {
     // ---- random origins ----
     println!("## random origins vs single origin (sequential), n = {n}");
     let mut t2 = TextTable::new(["family", "single origin", "random origins", "speedup"]);
-    for (fk, family) in [Family::Complete, Family::Cycle, Family::Hypercube].into_iter().enumerate()
+    for (fk, family) in [Family::Complete, Family::Cycle, Family::Hypercube]
+        .into_iter()
+        .enumerate()
     {
         let mut grng = Xoshiro256pp::new(opts.seed + 50 + fk as u64);
-        let size = if matches!(family, Family::Cycle) { n.min(128) } else { n };
+        let size = if matches!(family, Family::Cycle) {
+            n.min(128)
+        } else {
+            n
+        };
         let inst = family.instance(size, &mut grng);
         let nn = inst.graph.n();
-        let single = par_samples(opts.trials, opts.threads, opts.seed + 200 + fk as u64, |_, rng| {
-            run_sequential(&inst.graph, inst.origin, &cfg, rng).dispersion_time as f64
-        });
-        let spread = par_samples(opts.trials, opts.threads, opts.seed + 300 + fk as u64, |_, rng| {
-            run_sequential_random_origins(&inst.graph, nn, &cfg, rng).dispersion_time as f64
-        });
+        let single = par_samples(
+            opts.trials,
+            opts.threads,
+            opts.seed + 200 + fk as u64,
+            |_, rng| run_sequential(&inst.graph, inst.origin, &cfg, rng).dispersion_time as f64,
+        );
+        let spread = par_samples(
+            opts.trials,
+            opts.threads,
+            opts.seed + 300 + fk as u64,
+            |_, rng| {
+                run_sequential_random_origins(&inst.graph, nn, &cfg, rng).dispersion_time as f64
+            },
+        );
         let ss = Summary::from_samples(&single);
         let sp = Summary::from_samples(&spread);
         t2.push_row([
@@ -78,7 +94,9 @@ fn main() {
     println!();
 
     // ---- milestones ----
-    println!("## Theorem 3.3 milestone profile on the hypercube (rounds until < 2^j - 1 unsettled)");
+    println!(
+        "## Theorem 3.3 milestone profile on the hypercube (rounds until < 2^j - 1 unsettled)"
+    );
     let mut grng = Xoshiro256pp::new(opts.seed + 999);
     let inst = Family::Hypercube.instance(n, &mut grng);
     let tmix = mixing_time(&inst.graph, WalkKind::Lazy, 0.25, 1 << 20)

@@ -23,13 +23,23 @@ fn main() {
     let sides = if opts.sizes.is_empty() {
         vec![12usize, 16, 24, 32, 48]
     } else {
-        opts.sizes.iter().map(|&n| (n as f64).sqrt().round() as usize).collect()
+        opts.sizes
+            .iter()
+            .map(|&n| (n as f64).sqrt().round() as usize)
+            .collect()
     };
     let cfg = ProcessConfig::simple();
 
     println!("# Open Problem 1: 2-d torus dispersion between Ω(n log n) and O(n log² n)\n");
     let mut t = TextTable::new([
-        "side", "n", "t_seq", "t_par", "seq/(n ln n)", "seq/(n ln² n)", "par/(n ln n)", "par/(n ln² n)",
+        "side",
+        "n",
+        "t_seq",
+        "t_par",
+        "seq/(n ln n)",
+        "seq/(n ln² n)",
+        "par/(n ln n)",
+        "par/(n ln² n)",
     ]);
     for (k, &side) in sides.iter().enumerate() {
         let g = torus2d(side);
@@ -37,10 +47,22 @@ fn main() {
         let origin = index_of(&[side / 2, side / 2], &[side, side]);
         let s0 = opts.seed + 10 * k as u64;
         let seq = Summary::from_samples(&dispersion_samples(
-            &g, origin, Process::Sequential, &cfg, opts.trials, opts.threads, s0,
+            &g,
+            origin,
+            Process::Sequential,
+            &cfg,
+            opts.trials,
+            opts.threads,
+            s0,
         ));
         let par = Summary::from_samples(&dispersion_samples(
-            &g, origin, Process::Parallel, &cfg, opts.trials, opts.threads, s0 + 1,
+            &g,
+            origin,
+            Process::Parallel,
+            &cfg,
+            opts.trials,
+            opts.threads,
+            s0 + 1,
         ));
         let nf = n as f64;
         t.push_row([
@@ -83,12 +105,17 @@ fn main() {
                     }
                 }
                 let s = shape_stats(&occ, origin, &[side, side]);
-                (s.inner_radius, s.outer_radius, s.fluctuation(), s.roundness())
+                (
+                    s.inner_radius,
+                    s.outer_radius,
+                    s.fluctuation(),
+                    s.roundness(),
+                )
             },
         );
-        let mean = |f: &dyn Fn(&(f64, f64, f64, f64)) -> f64| {
-            stats.iter().map(f).sum::<f64>() / stats.len() as f64
-        };
+        type ShapeRow = (f64, f64, f64, f64);
+        let mean =
+            |f: &dyn Fn(&ShapeRow) -> f64| stats.iter().map(f).sum::<f64>() / stats.len() as f64;
         let ball_r = ((n / 2) as f64 / std::f64::consts::PI).sqrt();
         t2.push_row([
             side.to_string(),

@@ -54,10 +54,22 @@ fn main() {
         let g = path(n);
         let s0 = opts.seed + 10 * k as u64;
         let seq = Summary::from_samples(&dispersion_samples(
-            &g, 0, Process::Sequential, &cfg, opts.trials, opts.threads, s0,
+            &g,
+            0,
+            Process::Sequential,
+            &cfg,
+            opts.trials,
+            opts.threads,
+            s0,
         ));
         let par = Summary::from_samples(&dispersion_samples(
-            &g, 0, Process::Parallel, &cfg, opts.trials, opts.threads, s0 + 1,
+            &g,
+            0,
+            Process::Parallel,
+            &cfg,
+            opts.trials,
+            opts.threads,
+            s0 + 1,
         ));
         let m = Summary::from_samples(&par_samples(
             opts.trials.min(60),

@@ -25,10 +25,42 @@ fn main() {
             let inst = family.instance(n, &mut grng);
             let g = &inst.graph;
             let s0 = opts.seed + (fk * 1000 + k * 10) as u64;
-            let seq_s = estimate_dispersion(g, inst.origin, Process::Sequential, &ProcessConfig::simple(), opts.trials, opts.threads, s0);
-            let seq_l = estimate_dispersion(g, inst.origin, Process::Sequential, &ProcessConfig::lazy(), opts.trials, opts.threads, s0 + 1);
-            let par_s = estimate_dispersion(g, inst.origin, Process::Parallel, &ProcessConfig::simple(), opts.trials, opts.threads, s0 + 2);
-            let par_l = estimate_dispersion(g, inst.origin, Process::Parallel, &ProcessConfig::lazy(), opts.trials, opts.threads, s0 + 3);
+            let seq_s = estimate_dispersion(
+                g,
+                inst.origin,
+                Process::Sequential,
+                &ProcessConfig::simple(),
+                opts.trials,
+                opts.threads,
+                s0,
+            );
+            let seq_l = estimate_dispersion(
+                g,
+                inst.origin,
+                Process::Sequential,
+                &ProcessConfig::lazy(),
+                opts.trials,
+                opts.threads,
+                s0 + 1,
+            );
+            let par_s = estimate_dispersion(
+                g,
+                inst.origin,
+                Process::Parallel,
+                &ProcessConfig::simple(),
+                opts.trials,
+                opts.threads,
+                s0 + 2,
+            );
+            let par_l = estimate_dispersion(
+                g,
+                inst.origin,
+                Process::Parallel,
+                &ProcessConfig::lazy(),
+                opts.trials,
+                opts.threads,
+                s0 + 3,
+            );
             t.push_row([
                 inst.label.to_string(),
                 g.n().to_string(),

@@ -36,11 +36,7 @@ fn default_sizes(family: Family) -> Vec<usize> {
 
 fn main() {
     let opts = Options::from_env();
-    let which = opts
-        .positional
-        .first()
-        .map(|s| s.as_str())
-        .unwrap_or("all");
+    let which = opts.positional.first().map(|s| s.as_str()).unwrap_or("all");
     let families: Vec<Family> = if which == "all" {
         Family::table1()
     } else {
@@ -49,7 +45,10 @@ fn main() {
     };
 
     println!("# Table 1 reproduction — dispersion-time columns");
-    println!("# trials = {}, seed = {}, threads = {}\n", opts.trials, opts.seed, opts.threads);
+    println!(
+        "# trials = {}, seed = {}, threads = {}\n",
+        opts.trials, opts.seed, opts.threads
+    );
 
     for family in families {
         let sizes = opts.sizes_or(&default_sizes(family));
@@ -57,7 +56,14 @@ fn main() {
         let (shape_label, shape) = predicted_shape(family);
 
         let mut t = TextTable::new([
-            "n", "t_seq", "±95%", "t_par", "±95%", "par/seq", "seq/shape", "par/shape",
+            "n",
+            "t_seq",
+            "±95%",
+            "t_par",
+            "±95%",
+            "par/seq",
+            "seq/shape",
+            "par/shape",
         ]);
         for p in &pts {
             let s = shape(p.n as f64);

@@ -67,8 +67,17 @@ mod tests {
         // average summand, i.e. early phases dominate.
         let g = complete(64);
         let tmix = 2.0;
-        let first = tmix + multiwalk_hitting_upper_estimate(tmix, crate::sets::set_hitting_upper_estimate(&g, 1), 1);
+        let first = tmix
+            + multiwalk_hitting_upper_estimate(
+                tmix,
+                crate::sets::set_hitting_upper_estimate(&g, 1),
+                1,
+            );
         let total = thm_c4_sum(64, tmix, |j| crate::sets::set_hitting_upper_estimate(&g, j));
-        assert!(first > total / 64.0, "first {first} vs avg {}", total / 64.0);
+        assert!(
+            first > total / 64.0,
+            "first {first} vs avg {}",
+            total / 64.0
+        );
     }
 }

@@ -53,9 +53,7 @@ pub fn prop39_relaxation_lower(g: &Graph) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dispersion_graphs::generators::{
-        binary_tree, complete, cycle, hypercube, path, star,
-    };
+    use dispersion_graphs::generators::{binary_tree, complete, cycle, hypercube, path, star};
 
     #[test]
     fn thm36_values() {

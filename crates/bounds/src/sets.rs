@@ -27,7 +27,11 @@ pub fn set_hitting_upper_estimate(g: &Graph, s: usize) -> f64 {
     assert!(s >= 1 && s <= n, "set size {s} out of range");
     let l2 = lambda2(g, WalkKind::Lazy);
     let gap = (1.0 - l2).max(1e-12);
-    let log_s = if s <= 1 { 0.0 } else { (s as f64).log2().ceil() };
+    let log_s = if s <= 1 {
+        0.0
+    } else {
+        (s as f64).log2().ceil()
+    };
     lemma_c2_constant() * n as f64 * (1.0 + log_s) / (gap * s as f64)
 }
 
@@ -110,10 +114,7 @@ mod tests {
         for s in [1usize, 2, 3, 4, 6] {
             let est = set_hitting_upper_estimate(&g, s);
             let exact = brute_force_worst_set_hitting(&g, WalkKind::Lazy, s);
-            assert!(
-                est >= exact,
-                "s={s}: estimate {est} below exact {exact}"
-            );
+            assert!(est >= exact, "s={s}: estimate {est} below exact {exact}");
         }
     }
 

@@ -153,17 +153,10 @@ pub fn parallel_to_uniform<I: Iterator<Item = usize>>(block: &Block, schedule: I
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::block::validate::{
-        has_distinct_endpoints, is_parallel_block, is_sequential_block,
-    };
+    use crate::block::validate::{has_distinct_endpoints, is_parallel_block, is_sequential_block};
 
     fn seq_block() -> Block {
-        Block::from_rows(vec![
-            vec![0],
-            vec![0, 1],
-            vec![0, 1, 2],
-            vec![0, 1, 2, 3],
-        ])
+        Block::from_rows(vec![vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]])
     }
 
     fn par_only_block() -> Block {

@@ -13,7 +13,11 @@ pub mod cut_paste;
 pub mod repr;
 pub mod validate;
 
-pub use algorithms::{parallel_to_sequential, parallel_to_uniform, sequential_to_parallel, TimedBlock};
+pub use algorithms::{
+    parallel_to_sequential, parallel_to_uniform, sequential_to_parallel, TimedBlock,
+};
 pub use cut_paste::{cut_paste, receiving_row};
 pub use repr::Block;
-pub use validate::{has_distinct_endpoints, is_parallel_block, is_sequential_block, rows_are_walks};
+pub use validate::{
+    has_distinct_endpoints, is_parallel_block, is_sequential_block, rows_are_walks,
+};

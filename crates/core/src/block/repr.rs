@@ -167,4 +167,3 @@ mod tests {
         let _ = Block::from_rows(vec![vec![0], vec![]]);
     }
 }
-

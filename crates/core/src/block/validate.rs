@@ -118,12 +118,7 @@ mod tests {
 
     fn seq_example() -> Block {
         // a valid sequential block on the path 0-1-2-3, origin 0
-        Block::from_rows(vec![
-            vec![0],
-            vec![0, 1],
-            vec![0, 1, 2],
-            vec![0, 1, 2, 3],
-        ])
+        Block::from_rows(vec![vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]])
     }
 
     fn par_example() -> Block {

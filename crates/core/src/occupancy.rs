@@ -16,7 +16,10 @@ pub struct Occupancy {
 impl Occupancy {
     /// All-vacant occupancy for `n` vertices.
     pub fn new(n: usize) -> Self {
-        Occupancy { occupied: vec![false; n], count: 0 }
+        Occupancy {
+            occupied: vec![false; n],
+            count: 0,
+        }
     }
 
     /// Number of vertices.

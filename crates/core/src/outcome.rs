@@ -45,7 +45,14 @@ impl DispersionOutcome {
         }
         let dispersion_time = steps.iter().copied().max().unwrap_or(0);
         let total_steps = steps.iter().sum();
-        DispersionOutcome { origin, steps, settled_at, dispersion_time, total_steps, block }
+        DispersionOutcome {
+            origin,
+            steps,
+            settled_at,
+            dispersion_time,
+            total_steps,
+            block,
+        }
     }
 
     /// Number of particles.

@@ -108,7 +108,10 @@ pub fn run_ctu<R: Rng + ?Sized>(
     }
     debug_assert!(occ.is_full());
     let outcome = DispersionOutcome::new(origin, steps, settled_at, None);
-    ContinuousOutcome { outcome, settle_time: time }
+    ContinuousOutcome {
+        outcome,
+        settle_time: time,
+    }
 }
 
 /// Runs one continuous-time Sequential-IDLA realization: a discrete
@@ -127,7 +130,10 @@ pub fn run_continuous_sequential<R: Rng + ?Sized>(
         .iter()
         .map(|&rho| sample_gamma_int(rho, rng))
         .fold(0.0, f64::max);
-    ContinuousOutcome { outcome, settle_time }
+    ContinuousOutcome {
+        outcome,
+        settle_time,
+    }
 }
 
 #[cfg(test)]
@@ -142,8 +148,10 @@ mod tests {
     fn exponential_mean() {
         let mut rng = StdRng::seed_from_u64(1);
         let trials = 20_000;
-        let mean: f64 =
-            (0..trials).map(|_| sample_exponential(2.0, &mut rng)).sum::<f64>() / trials as f64;
+        let mean: f64 = (0..trials)
+            .map(|_| sample_exponential(2.0, &mut rng))
+            .sum::<f64>()
+            / trials as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 
@@ -152,12 +160,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for shape in [1u64, 5, 32, 100] {
             let trials = 8000;
-            let xs: Vec<f64> = (0..trials).map(|_| sample_gamma_int(shape, &mut rng)).collect();
+            let xs: Vec<f64> = (0..trials)
+                .map(|_| sample_gamma_int(shape, &mut rng))
+                .collect();
             let mean = xs.iter().sum::<f64>() / trials as f64;
             let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / trials as f64;
             let s = shape as f64;
-            assert!((mean - s).abs() < 0.1 * s.max(3.0), "shape {shape}: mean {mean}");
-            assert!((var - s).abs() < 0.25 * s.max(3.0), "shape {shape}: var {var}");
+            assert!(
+                (mean - s).abs() < 0.1 * s.max(3.0),
+                "shape {shape}: mean {mean}"
+            );
+            assert!(
+                (var - s).abs() < 0.25 * s.max(3.0),
+                "shape {shape}: var {var}"
+            );
         }
         assert_eq!(sample_gamma_int(0, &mut rng), 0.0);
     }
@@ -180,9 +196,10 @@ mod tests {
         let g = complete(n);
         let mut rng = StdRng::seed_from_u64(4);
         let trials = 400;
-        let mean: f64 =
-            (0..trials).map(|_| run_ctu(&g, 0, &ProcessConfig::simple(), &mut rng).settle_time).sum::<f64>()
-                / trials as f64;
+        let mean: f64 = (0..trials)
+            .map(|_| run_ctu(&g, 0, &ProcessConfig::simple(), &mut rng).settle_time)
+            .sum::<f64>()
+            / trials as f64;
         let expect: f64 = (1..n).map(|k| (n as f64 - 1.0) / (k * k) as f64).sum();
         assert!(
             (mean - expect).abs() < 0.1 * expect,

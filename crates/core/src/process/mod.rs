@@ -2,8 +2,8 @@
 //! continuous-time IDLA, plus the generalized stopping-rule engine.
 
 pub mod continuous;
-pub mod partial;
 pub mod parallel;
+pub mod partial;
 pub mod sequential;
 pub mod stopping;
 pub mod uniform;
@@ -41,7 +41,10 @@ impl ProcessConfig {
 
     /// Lazy walk, no recording.
     pub fn lazy() -> Self {
-        ProcessConfig { walk: WalkKind::Lazy, ..Self::default() }
+        ProcessConfig {
+            walk: WalkKind::Lazy,
+            ..Self::default()
+        }
     }
 
     /// Enables trajectory recording.

@@ -37,8 +37,7 @@ pub fn run_parallel<R: Rng + ?Sized>(
     let mut settled = vec![false; n];
     let mut steps = vec![0u64; n];
     let mut settled_at: Vec<Vertex> = vec![origin; n];
-    let mut rows: Option<Vec<Vec<Vertex>>> =
-        cfg.record_trajectories.then(|| vec![vec![origin]; n]);
+    let mut rows: Option<Vec<Vec<Vertex>>> = cfg.record_trajectories.then(|| vec![vec![origin]; n]);
 
     // particle 0 settles at the origin at time 0
     occ.settle(origin);
@@ -165,7 +164,10 @@ mod tests {
         order.sort_by_key(|&i| o.steps[i]);
         let settle_positions: Vec<u32> = order.iter().map(|&i| o.settled_at[i]).collect();
         for w in settle_positions.windows(2) {
-            assert!(w[0] < w[1], "settle order not monotone: {settle_positions:?}");
+            assert!(
+                w[0] < w[1],
+                "settle order not monotone: {settle_positions:?}"
+            );
         }
     }
 

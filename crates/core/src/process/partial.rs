@@ -328,9 +328,8 @@ mod tests {
                 &mut rng,
             )
             .dispersion_time;
-            spread +=
-                run_sequential_random_origins(&g, 64, &ProcessConfig::simple(), &mut rng)
-                    .dispersion_time;
+            spread += run_sequential_random_origins(&g, 64, &ProcessConfig::simple(), &mut rng)
+                .dispersion_time;
         }
         assert!(
             spread * 4 < single * 3,

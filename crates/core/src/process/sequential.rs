@@ -33,8 +33,7 @@ pub fn run_sequential<R: Rng + ?Sized>(
     let mut occ = Occupancy::new(n);
     let mut steps = Vec::with_capacity(n);
     let mut settled_at = Vec::with_capacity(n);
-    let mut rows: Option<Vec<Vec<Vertex>>> =
-        cfg.record_trajectories.then(|| Vec::with_capacity(n));
+    let mut rows: Option<Vec<Vec<Vertex>>> = cfg.record_trajectories.then(|| Vec::with_capacity(n));
 
     // particle 0 settles at the origin
     occ.settle(origin);
@@ -122,7 +121,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let o = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng);
         assert_eq!(o.steps[1], 1); // first mover settles a leaf immediately
-        // all later particles need odd step counts (leaf-centre-leaf...)
+                                   // all later particles need odd step counts (leaf-centre-leaf...)
         for i in 1..5 {
             assert_eq!(o.steps[i] % 2, 1, "particle {i} steps {}", o.steps[i]);
         }

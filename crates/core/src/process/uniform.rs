@@ -54,10 +54,8 @@ pub fn run_uniform<R: Rng + ?Sized>(
     let mut settled = vec![false; n];
     let mut steps = vec![0u64; n];
     let mut settled_at: Vec<Vertex> = vec![origin; n];
-    let mut rows: Option<Vec<Vec<Vertex>>> =
-        cfg.record_trajectories.then(|| vec![vec![origin]; n]);
-    let mut times: Option<Vec<Vec<u64>>> =
-        cfg.record_trajectories.then(|| vec![vec![0u64]; n]);
+    let mut rows: Option<Vec<Vec<Vertex>>> = cfg.record_trajectories.then(|| vec![vec![origin]; n]);
+    let mut times: Option<Vec<Vec<u64>>> = cfg.record_trajectories.then(|| vec![vec![0u64]; n]);
     let mut schedule: Option<Vec<usize>> = cfg.record_trajectories.then(Vec::new);
 
     occ.settle(origin);
@@ -99,15 +97,20 @@ pub fn run_uniform<R: Rng + ?Sized>(
         _ => None,
     };
     let outcome = DispersionOutcome::new(origin, steps, settled_at, block);
-    UniformOutcome { outcome, settle_tick, timed, schedule }
+    UniformOutcome {
+        outcome,
+        settle_tick,
+        timed,
+        schedule,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::block::validate::{has_distinct_endpoints, rows_are_walks};
     use crate::block::sequential_to_parallel;
     use crate::block::validate::is_parallel_block;
+    use crate::block::validate::{has_distinct_endpoints, rows_are_walks};
     use dispersion_graphs::generators::{complete, cycle, star};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

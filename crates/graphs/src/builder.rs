@@ -20,7 +20,10 @@ impl GraphBuilder {
     /// Creates a builder for a graph on `n` vertices (ids `0..n`).
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "vertex ids must fit in u32");
-        GraphBuilder { n, arcs: Vec::new() }
+        GraphBuilder {
+            n,
+            arcs: Vec::new(),
+        }
     }
 
     /// Pre-allocates space for `m` undirected edges.
@@ -41,8 +44,16 @@ impl GraphBuilder {
     ///
     /// Panics if `u >= n` or `v >= n`.
     pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> &mut Self {
-        assert!((u as usize) < self.n, "endpoint {u} out of range (n = {})", self.n);
-        assert!((v as usize) < self.n, "endpoint {v} out of range (n = {})", self.n);
+        assert!(
+            (u as usize) < self.n,
+            "endpoint {u} out of range (n = {})",
+            self.n
+        );
+        assert!(
+            (v as usize) < self.n,
+            "endpoint {v} out of range (n = {})",
+            self.n
+        );
         self.arcs.push((u, v));
         if u != v {
             self.arcs.push((v, u));

@@ -67,19 +67,39 @@ impl Family {
     pub fn instance<R: Rng + ?Sized>(self, n: usize, rng: &mut R) -> Instance {
         let label = self.label();
         match self {
-            Family::Path => Instance { label, graph: basic::path(n), origin: 0 },
-            Family::Cycle => Instance { label, graph: basic::cycle(n), origin: 0 },
+            Family::Path => Instance {
+                label,
+                graph: basic::path(n),
+                origin: 0,
+            },
+            Family::Cycle => Instance {
+                label,
+                graph: basic::cycle(n),
+                origin: 0,
+            },
             Family::Torus2d => {
                 let s = (n as f64).sqrt().round().max(2.0) as usize;
-                Instance { label, graph: grid::torus2d(s), origin: 0 }
+                Instance {
+                    label,
+                    graph: grid::torus2d(s),
+                    origin: 0,
+                }
             }
             Family::Torus3d => {
                 let s = (n as f64).cbrt().round().max(2.0) as usize;
-                Instance { label, graph: grid::torus3d(s), origin: 0 }
+                Instance {
+                    label,
+                    graph: grid::torus3d(s),
+                    origin: 0,
+                }
             }
             Family::Hypercube => {
                 let k = (n as f64).log2().round().max(1.0) as usize;
-                Instance { label, graph: hypercube::hypercube(k), origin: 0 }
+                Instance {
+                    label,
+                    graph: hypercube::hypercube(k),
+                    origin: 0,
+                }
             }
             Family::BinaryTree => {
                 let levels = ((n + 1) as f64).log2().round().max(1.0) as usize;
@@ -89,7 +109,11 @@ impl Family {
                     origin: tree::BINARY_TREE_ROOT,
                 }
             }
-            Family::Complete => Instance { label, graph: basic::complete(n), origin: 0 },
+            Family::Complete => Instance {
+                label,
+                graph: basic::complete(n),
+                origin: 0,
+            },
             Family::RandomRegular(d) => {
                 // ensure n*d even
                 let n = if n * d % 2 == 1 { n + 1 } else { n };
@@ -99,10 +123,18 @@ impl Family {
                     origin: 0,
                 }
             }
-            Family::Star => Instance { label, graph: basic::star(n), origin: 0 },
+            Family::Star => Instance {
+                label,
+                graph: basic::star(n),
+                origin: 0,
+            },
             Family::Lollipop => {
                 let (graph, origin, _, _) = composite::lollipop(n);
-                Instance { label, graph, origin }
+                Instance {
+                    label,
+                    graph,
+                    origin,
+                }
             }
         }
     }

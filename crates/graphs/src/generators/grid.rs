@@ -31,7 +31,10 @@ pub fn coords_of(mut v: usize, dims: &[usize]) -> Vec<usize> {
 
 fn lattice(dims: &[usize], wrap: bool) -> Graph {
     assert!(!dims.is_empty(), "need at least one dimension");
-    assert!(dims.iter().all(|&d| d > 0), "all side lengths must be positive");
+    assert!(
+        dims.iter().all(|&d| d > 0),
+        "all side lengths must be positive"
+    );
     let n: usize = dims.iter().product();
     let mut b = GraphBuilder::with_capacity(n, n * dims.len());
     let mut coords = vec![0usize; dims.len()];

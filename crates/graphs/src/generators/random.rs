@@ -105,7 +105,9 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
     if d == 0 {
         return GraphBuilder::new(n).build();
     }
-    let mut stubs: Vec<Vertex> = (0..n).flat_map(|v| std::iter::repeat_n(v as Vertex, d)).collect();
+    let mut stubs: Vec<Vertex> = (0..n)
+        .flat_map(|v| std::iter::repeat_n(v as Vertex, d))
+        .collect();
     'attempt: for _ in 0..10_000 {
         // Fisher–Yates shuffle, then pair consecutive stubs.
         for i in (1..stubs.len()).rev() {

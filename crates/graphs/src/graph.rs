@@ -51,7 +51,10 @@ impl Graph {
     pub(crate) fn from_parts(offsets: Vec<u32>, neighbours: Vec<Vertex>) -> Self {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(*offsets.last().unwrap() as usize, neighbours.len());
-        Graph { offsets, neighbours }
+        Graph {
+            offsets,
+            neighbours,
+        }
     }
 
     /// Number of vertices.

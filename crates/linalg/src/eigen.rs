@@ -27,7 +27,10 @@ pub struct SymmetricEigen {
 ///
 /// Panics if `a` is not symmetric to `1e-9`.
 pub fn jacobi_eigen(a: &Matrix, tol: f64) -> SymmetricEigen {
-    assert!(a.is_symmetric(1e-9), "jacobi_eigen requires a symmetric matrix");
+    assert!(
+        a.is_symmetric(1e-9),
+        "jacobi_eigen requires a symmetric matrix"
+    );
     let n = a.rows();
     let mut m = a.clone();
     let mut v = Matrix::identity(n);

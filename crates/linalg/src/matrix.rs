@@ -17,7 +17,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -53,7 +57,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -139,8 +147,7 @@ impl Matrix {
     pub fn vecmat(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "shape mismatch in vecmat");
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -154,14 +161,27 @@ impl Matrix {
     /// `self + other`.
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// `self * c` (scalar).
     pub fn scale(&self, c: f64) -> Matrix {
         let data = self.data.iter().map(|a| a * c).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Maximum absolute entry difference to `other`.

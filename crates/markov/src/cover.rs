@@ -29,7 +29,11 @@ pub fn matthews_upper_bound(g: &Graph, kind: WalkKind) -> f64 {
 
 /// Matthews lower bound over a given subset `A` of vertices:
 /// `t_cov ≥ H_{|A|-1} · min_{u≠v ∈ A} t_hit(u, v)`.
-pub fn matthews_lower_bound(g: &Graph, kind: WalkKind, subset: &[dispersion_graphs::Vertex]) -> f64 {
+pub fn matthews_lower_bound(
+    g: &Graph,
+    kind: WalkKind,
+    subset: &[dispersion_graphs::Vertex],
+) -> f64 {
     assert!(subset.len() >= 2, "Matthews lower bound needs |A| >= 2");
     let h = all_pairs_hitting(g, kind);
     let mut min_hit = f64::INFINITY;

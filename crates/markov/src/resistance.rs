@@ -40,7 +40,9 @@ pub fn effective_resistance(g: &Graph, u: Vertex, v: Vertex) -> f64 {
     // choose a ground distinct from u (grounding is arbitrary)
     let ground = if u as usize == n - 1 || v as usize == n - 1 {
         // pick a vertex different from both; n >= 2 guarantees existence
-        (0..n).find(|&w| w != u as usize && w != v as usize).unwrap_or(0)
+        (0..n)
+            .find(|&w| w != u as usize && w != v as usize)
+            .unwrap_or(0)
     } else {
         n - 1
     };

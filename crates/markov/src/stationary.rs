@@ -41,8 +41,8 @@ mod tests {
         let g = star(5); // centre degree 4, leaves degree 1, total 8
         let pi = stationary(&g);
         assert!((pi[0] - 0.5).abs() < 1e-12);
-        for leaf in 1..5 {
-            assert!((pi[leaf] - 0.125).abs() < 1e-12);
+        for &p in &pi[1..5] {
+            assert!((p - 0.125).abs() < 1e-12);
         }
     }
 

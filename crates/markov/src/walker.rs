@@ -18,7 +18,11 @@ pub struct Walk {
 impl Walk {
     /// Starts a walk at `origin`.
     pub fn new(kind: WalkKind, origin: Vertex) -> Self {
-        Walk { kind, position: origin, steps: 0 }
+        Walk {
+            kind,
+            position: origin,
+            steps: 0,
+        }
     }
 
     /// Current position.
@@ -55,7 +59,10 @@ pub fn simulate_hitting_time<R: Rng + ?Sized>(
 ) -> u64 {
     let mut w = Walk::new(kind, from);
     while w.position() != target {
-        assert!(w.steps() < cap, "hitting-time simulation exceeded cap {cap}");
+        assert!(
+            w.steps() < cap,
+            "hitting-time simulation exceeded cap {cap}"
+        );
         w.advance(g, rng);
     }
     w.steps()
@@ -211,8 +218,14 @@ mod tests {
         let mut set_total = 0u64;
         let mut point_total = 0u64;
         for _ in 0..trials {
-            set_total +=
-                simulate_hitting_time_of_set(&g, WalkKind::Simple, 0, &[5, 6, 7], u64::MAX, &mut rng);
+            set_total += simulate_hitting_time_of_set(
+                &g,
+                WalkKind::Simple,
+                0,
+                &[5, 6, 7],
+                u64::MAX,
+                &mut rng,
+            );
             point_total += simulate_hitting_time(&g, WalkKind::Simple, 0, 6, u64::MAX, &mut rng);
         }
         assert!(set_total < point_total);

@@ -143,9 +143,9 @@ proptest! {
         // R(u, v) ≤ graph distance (series upper bound via any path)
         use dispersion_graphs::traversal::bfs_distances;
         let d = bfs_distances(&g, 0);
-        for v in 1..g.n() {
+        for (v, &dv) in d.iter().enumerate().skip(1) {
             let r = effective_resistance(&g, 0, v as Vertex);
-            prop_assert!(r <= d[v] as f64 + 1e-9, "R(0,{v}) = {r} > dist {}", d[v]);
+            prop_assert!(r <= dv as f64 + 1e-9, "R(0,{v}) = {r} > dist {dv}");
         }
     }
 }

@@ -85,7 +85,9 @@ pub fn estimate_dispersion(
     threads: usize,
     seed: u64,
 ) -> Summary {
-    Summary::from_samples(&dispersion_samples(g, origin, process, cfg, trials, threads, seed))
+    Summary::from_samples(&dispersion_samples(
+        g, origin, process, cfg, trials, threads, seed,
+    ))
 }
 
 /// Draws `trials` samples of the *total* number of steps (all particles),
@@ -106,7 +108,9 @@ pub fn total_steps_samples(
         Process::Uniform => run_uniform(g, origin, cfg, rng).outcome.total_steps as f64,
         Process::Ctu => run_ctu(g, origin, cfg, rng).outcome.total_steps as f64,
         Process::ContinuousSequential => {
-            run_continuous_sequential(g, origin, cfg, rng).outcome.total_steps as f64
+            run_continuous_sequential(g, origin, cfg, rng)
+                .outcome
+                .total_steps as f64
         }
     })
 }
@@ -139,7 +143,15 @@ mod tests {
     fn parallel_estimate_on_clique_near_pi2_over_6() {
         let n = 256usize;
         let g = complete(n);
-        let s = estimate_dispersion(&g, 0, Process::Parallel, &ProcessConfig::simple(), 300, 4, 2);
+        let s = estimate_dispersion(
+            &g,
+            0,
+            Process::Parallel,
+            &ProcessConfig::simple(),
+            300,
+            4,
+            2,
+        );
         let ratio = s.mean / n as f64;
         // π²/6 ≈ 1.645
         assert!((1.3..2.0).contains(&ratio), "t_par/n = {ratio}");

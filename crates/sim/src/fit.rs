@@ -47,8 +47,16 @@ pub fn fit_power(xs: &[f64], ys: &[f64]) -> PowerFit {
         .zip(&ly)
         .map(|(x, y)| (y - (c + b * x)).powi(2))
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
-    PowerFit { amplitude: c.exp(), exponent: b, r2 }
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    PowerFit {
+        amplitude: c.exp(),
+        exponent: b,
+        r2,
+    }
 }
 
 /// A fitted law `y ≈ a · n^b · (ln n)^c`.
@@ -72,7 +80,10 @@ pub struct PowerLogFit {
 pub fn fit_power_log(xs: &[f64], ys: &[f64]) -> PowerLogFit {
     assert_eq!(xs.len(), ys.len());
     assert!(xs.len() >= 3, "need at least three points");
-    assert!(xs.iter().all(|&x| x > std::f64::consts::E), "x must exceed e");
+    assert!(
+        xs.iter().all(|&x| x > std::f64::consts::E),
+        "x must exceed e"
+    );
     assert!(ys.iter().all(|&y| y > 0.0), "y must be positive");
     let rows: Vec<[f64; 3]> = xs.iter().map(|&x| [1.0, x.ln(), x.ln().ln()]).collect();
     let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
@@ -93,7 +104,10 @@ pub fn fit_power_log(xs: &[f64], ys: &[f64]) -> PowerLogFit {
             + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
     };
     let d = det3(&ata);
-    assert!(d.abs() > 1e-9, "degenerate design matrix (x values too close)");
+    assert!(
+        d.abs() > 1e-9,
+        "degenerate design matrix (x values too close)"
+    );
     let mut w = [0.0f64; 3];
     for k in 0..3 {
         let mut m = ata;
@@ -102,7 +116,11 @@ pub fn fit_power_log(xs: &[f64], ys: &[f64]) -> PowerLogFit {
         }
         w[k] = det3(&m) / d;
     }
-    PowerLogFit { amplitude: w[0].exp(), exponent: w[1], log_exponent: w[2] }
+    PowerLogFit {
+        amplitude: w[0].exp(),
+        exponent: w[1],
+        log_exponent: w[2],
+    }
 }
 
 /// Mean of `ys[i] / shape(xs[i])` — the empirical constant when the shape is

@@ -20,7 +20,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "need at least one bin");
         assert!(hi > lo, "empty range");
-        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Builds a histogram spanning a sample's range.
@@ -28,7 +34,11 @@ impl Histogram {
         assert!(!samples.is_empty());
         let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let hi = if hi > lo { hi * (1.0 + 1e-12) + 1e-12 } else { lo + 1.0 };
+        let hi = if hi > lo {
+            hi * (1.0 + 1e-12) + 1e-12
+        } else {
+            lo + 1.0
+        };
         let mut h = Histogram::new(lo, hi, bins);
         for &x in samples {
             h.add(x);
@@ -70,7 +80,11 @@ impl Histogram {
                 continue;
             }
             let left = if i == 0 { 0 } else { self.bins[i - 1] };
-            let right = if i + 1 == self.bins.len() { 0 } else { self.bins[i + 1] };
+            let right = if i + 1 == self.bins.len() {
+                0
+            } else {
+                self.bins[i + 1]
+            };
             if c >= left && c > right {
                 modes += 1;
             }

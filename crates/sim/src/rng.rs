@@ -54,10 +54,7 @@ impl Xoshiro256pp {
     #[inline]
     fn next(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -147,8 +144,7 @@ mod tests {
 
     #[test]
     fn trial_seeds_distinct() {
-        let seeds: std::collections::HashSet<u64> =
-            (0..10_000).map(|i| trial_seed(7, i)).collect();
+        let seeds: std::collections::HashSet<u64> = (0..10_000).map(|i| trial_seed(7, i)).collect();
         assert_eq!(seeds.len(), 10_000);
     }
 

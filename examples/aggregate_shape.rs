@@ -56,7 +56,7 @@ fn main() {
     let checkpoints = [n / 8, n / 2, (9 * n) / 10];
     let mut next_checkpoint = 0usize;
 
-    for i in 1..n {
+    for wl in walk_lengths.iter_mut().skip(1) {
         let mut pos = origin;
         let mut steps = 0u64;
         loop {
@@ -67,8 +67,9 @@ fn main() {
                 break;
             }
         }
-        walk_lengths[i] = steps;
-        if next_checkpoint < checkpoints.len() && occ.settled_count() >= checkpoints[next_checkpoint]
+        *wl = steps;
+        if next_checkpoint < checkpoints.len()
+            && occ.settled_count() >= checkpoints[next_checkpoint]
         {
             println!(
                 "\naggregate after {} of {} particles ({}%):",

@@ -58,9 +58,20 @@ fn main() {
     let d = Summary::from_samples(&disp);
     let c = Summary::from_samples(&cc);
     println!("n = {n}, {trials} trials");
-    println!("clique dispersion time  : mean {:8.1} ± {:.1}", d.mean, 1.96 * d.sem);
-    println!("coupon longest wait     : mean {:8.1} ± {:.1}", c.mean, 1.96 * c.sem);
-    println!("ratio                   : {:.3}  (should be ≈ 1 up to the clique's", d.mean / c.mean);
+    println!(
+        "clique dispersion time  : mean {:8.1} ± {:.1}",
+        d.mean,
+        1.96 * d.sem
+    );
+    println!(
+        "coupon longest wait     : mean {:8.1} ± {:.1}",
+        c.mean,
+        1.96 * c.sem
+    );
+    println!(
+        "ratio                   : {:.3}  (should be ≈ 1 up to the clique's",
+        d.mean / c.mean
+    );
     println!("                          n/(n-1) no-self-jump correction)\n");
 
     // --- topology matters: the cycle collector ---

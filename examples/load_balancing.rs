@@ -58,7 +58,11 @@ fn main() {
 
     println!("worst job migration count (dispersion time):");
     println!("  sequential release : {:8.1} hops", sd.mean);
-    println!("  parallel release   : {:8.1} hops ({:.2}× worse)", pd.mean, pd.mean / sd.mean);
+    println!(
+        "  parallel release   : {:8.1} hops ({:.2}× worse)",
+        pd.mean,
+        pd.mean / sd.mean
+    );
     println!("  (expanders: Θ(n/n)=Θ(1) per-job average, worst job Θ(log-ish); Table 1 row 'expanders': t = Θ(n) total scale)\n");
 
     println!("total network traffic (all jobs):");

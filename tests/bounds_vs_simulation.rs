@@ -16,7 +16,13 @@ use dispersion_repro::sim::Xoshiro256pp;
 const TRIALS: usize = 150;
 
 fn families() -> Vec<Family> {
-    vec![Family::Complete, Family::Cycle, Family::Hypercube, Family::BinaryTree, Family::Star]
+    vec![
+        Family::Complete,
+        Family::Cycle,
+        Family::Hypercube,
+        Family::BinaryTree,
+        Family::Star,
+    ]
 }
 
 #[test]
@@ -26,8 +32,15 @@ fn theorem_3_1_upper_bound_rarely_exceeded() {
         let mut grng = Xoshiro256pp::new(k as u64);
         let inst = family.instance(32, &mut grng);
         let threshold = thm31_whp_threshold(&inst.graph, WalkKind::Simple);
-        let par =
-            dispersion_samples(&inst.graph, inst.origin, Process::Parallel, &cfg, TRIALS, 0, 70 + k as u64);
+        let par = dispersion_samples(
+            &inst.graph,
+            inst.origin,
+            Process::Parallel,
+            &cfg,
+            TRIALS,
+            0,
+            70 + k as u64,
+        );
         let exceed = par.iter().filter(|&&x| x > threshold).count();
         // Pr <= 1/n² = ~0.1%; allow sampling slack
         assert!(
@@ -44,14 +57,38 @@ fn theorems_3_3_and_3_5_dominate_lazy_dispersion() {
     for (k, family) in families().into_iter().enumerate() {
         let mut grng = Xoshiro256pp::new(10 + k as u64);
         let inst = family.instance(32, &mut grng);
-        let par = dispersion_samples(&inst.graph, inst.origin, Process::Parallel, &lazy, TRIALS, 0, 90 + k as u64);
-        let seq = dispersion_samples(&inst.graph, inst.origin, Process::Sequential, &lazy, TRIALS, 0, 95 + k as u64);
+        let par = dispersion_samples(
+            &inst.graph,
+            inst.origin,
+            Process::Parallel,
+            &lazy,
+            TRIALS,
+            0,
+            90 + k as u64,
+        );
+        let seq = dispersion_samples(
+            &inst.graph,
+            inst.origin,
+            Process::Sequential,
+            &lazy,
+            TRIALS,
+            0,
+            95 + k as u64,
+        );
         let max_par = par.iter().copied().fold(0.0f64, f64::max);
         let max_seq = seq.iter().copied().fold(0.0f64, f64::max);
         let b33 = thm33_spectral(&inst.graph);
         let b35 = thm35_spectral(&inst.graph);
-        assert!(b33 >= max_par, "{}: Thm 3.3 bound {b33} < observed {max_par}", inst.label);
-        assert!(b35 >= max_seq, "{}: Thm 3.5 bound {b35} < observed {max_seq}", inst.label);
+        assert!(
+            b33 >= max_par,
+            "{}: Thm 3.3 bound {b33} < observed {max_par}",
+            inst.label
+        );
+        assert!(
+            b35 >= max_seq,
+            "{}: Thm 3.5 bound {b35} < observed {max_seq}",
+            inst.label
+        );
     }
 }
 
@@ -62,7 +99,15 @@ fn corollary_3_2_worst_case_envelopes() {
         let mut grng = Xoshiro256pp::new(20 + k as u64);
         let inst = family.instance(32, &mut grng);
         let n = inst.graph.n();
-        let par = dispersion_samples(&inst.graph, inst.origin, Process::Parallel, &cfg, TRIALS, 0, 120 + k as u64);
+        let par = dispersion_samples(
+            &inst.graph,
+            inst.origin,
+            Process::Parallel,
+            &cfg,
+            TRIALS,
+            0,
+            120 + k as u64,
+        );
         let max_par = par.iter().copied().fold(0.0f64, f64::max);
         assert!(max_par <= cor32_general(n), "{}", inst.label);
         if inst.graph.is_regular() {
@@ -77,11 +122,23 @@ fn theorem_3_6_lower_bound() {
     for (k, family) in families().into_iter().enumerate() {
         let mut grng = Xoshiro256pp::new(30 + k as u64);
         let inst = family.instance(48, &mut grng);
-        let seq = dispersion_samples(&inst.graph, inst.origin, Process::Sequential, &cfg, TRIALS, 0, 150 + k as u64);
+        let seq = dispersion_samples(
+            &inst.graph,
+            inst.origin,
+            Process::Sequential,
+            &cfg,
+            TRIALS,
+            0,
+            150 + k as u64,
+        );
         let mean = seq.iter().sum::<f64>() / seq.len() as f64;
         let lb = thm36_edges_over_maxdeg(&inst.graph);
         // Ω(|E|/Δ): comfortably satisfied with constant 1/2 at these sizes
-        assert!(mean >= 0.5 * lb, "{}: E[τ_seq] = {mean} vs |E|/Δ = {lb}", inst.label);
+        assert!(
+            mean >= 0.5 * lb,
+            "{}: E[τ_seq] = {mean} vs |E|/Δ = {lb}",
+            inst.label
+        );
     }
 }
 
@@ -92,7 +149,15 @@ fn theorem_3_7_tree_lower_bound() {
         let mut grng = Xoshiro256pp::new(40 + k as u64);
         let inst = family.instance(31, &mut grng);
         assert!(is_tree(&inst.graph));
-        let seq = dispersion_samples(&inst.graph, inst.origin, Process::Sequential, &cfg, 300, 0, 170 + k as u64);
+        let seq = dispersion_samples(
+            &inst.graph,
+            inst.origin,
+            Process::Sequential,
+            &cfg,
+            300,
+            0,
+            170 + k as u64,
+        );
         let mean = seq.iter().sum::<f64>() / seq.len() as f64;
         let lb = thm37_tree_lower(&inst.graph);
         assert!(
@@ -109,7 +174,15 @@ fn proposition_3_9_mixing_lower_bound() {
     // the cycle is the natural witness: t_mix = Θ(n²) and t_seq = Θ(n² log n)
     let mut grng = Xoshiro256pp::new(50);
     let inst = Family::Cycle.instance(32, &mut grng);
-    let seq = dispersion_samples(&inst.graph, inst.origin, Process::Sequential, &lazy, TRIALS, 0, 190);
+    let seq = dispersion_samples(
+        &inst.graph,
+        inst.origin,
+        Process::Sequential,
+        &lazy,
+        TRIALS,
+        0,
+        190,
+    );
     let mean = seq.iter().sum::<f64>() / seq.len() as f64;
     let tmix = prop39_mixing_lower(&inst.graph);
     assert!(mean >= tmix, "E[τ_seq,lazy] = {mean} below t_mix = {tmix}");

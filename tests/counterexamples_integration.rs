@@ -85,7 +85,10 @@ fn prop_a_1_delayed_rule_beats_first_vacant() {
     let n = 64usize;
     let (g, v, v_star) = clique_with_hair(n);
     let nf = n as f64;
-    let rule = DelayedExcept { threshold: (3.0 * nf * nf.ln()) as u64, special: v_star };
+    let rule = DelayedExcept {
+        threshold: (3.0 * nf * nf.ln()) as u64,
+        special: v_star,
+    };
     let cfg = ProcessConfig::simple();
     let standard = par_samples(300, 0, 3, |_, rng| {
         run_sequential(&g, v, &cfg, rng).dispersion_time as f64

@@ -5,7 +5,9 @@
 use dispersion_repro::core::block::validate::{
     has_distinct_endpoints, is_parallel_block, is_sequential_block, rows_are_walks,
 };
-use dispersion_repro::core::block::{parallel_to_sequential, parallel_to_uniform, sequential_to_parallel};
+use dispersion_repro::core::block::{
+    parallel_to_sequential, parallel_to_uniform, sequential_to_parallel,
+};
 use dispersion_repro::core::process::parallel::run_parallel;
 use dispersion_repro::core::process::sequential::run_sequential;
 use dispersion_repro::core::process::ProcessConfig;
@@ -16,7 +18,13 @@ use dispersion_repro::sim::Xoshiro256pp;
 use rand::RngExt;
 
 fn test_families() -> Vec<Family> {
-    vec![Family::Complete, Family::Cycle, Family::Hypercube, Family::BinaryTree, Family::Star]
+    vec![
+        Family::Complete,
+        Family::Cycle,
+        Family::Hypercube,
+        Family::BinaryTree,
+        Family::Star,
+    ]
 }
 
 #[test]
@@ -79,7 +87,9 @@ fn lazy_realizations_respect_the_same_coupling() {
     let inst = Family::Complete.instance(24, &mut grng);
     let cfg = ProcessConfig::lazy().recording();
     let mut rng = Xoshiro256pp::new(78);
-    let sb = run_sequential(&inst.graph, inst.origin, &cfg, &mut rng).block.unwrap();
+    let sb = run_sequential(&inst.graph, inst.origin, &cfg, &mut rng)
+        .block
+        .unwrap();
     assert!(rows_are_walks(&sb, &inst.graph, true));
     let stp = sequential_to_parallel(&sb);
     assert!(is_parallel_block(&stp));
@@ -89,19 +99,54 @@ fn lazy_realizations_respect_the_same_coupling() {
 #[test]
 fn theorem_4_1_dominance_and_total_steps() {
     let cfg = ProcessConfig::simple();
-    for (k, family) in [Family::Complete, Family::Cycle, Family::Star].into_iter().enumerate() {
+    for (k, family) in [Family::Complete, Family::Cycle, Family::Star]
+        .into_iter()
+        .enumerate()
+    {
         let mut grng = Xoshiro256pp::new(300 + k as u64);
         let inst = family.instance(32, &mut grng);
         let s0 = 400 + 10 * k as u64;
-        let seq = dispersion_samples(&inst.graph, inst.origin, Process::Sequential, &cfg, 400, 0, s0);
-        let par = dispersion_samples(&inst.graph, inst.origin, Process::Parallel, &cfg, 400, 0, s0 + 1);
+        let seq = dispersion_samples(
+            &inst.graph,
+            inst.origin,
+            Process::Sequential,
+            &cfg,
+            400,
+            0,
+            s0,
+        );
+        let par = dispersion_samples(
+            &inst.graph,
+            inst.origin,
+            Process::Parallel,
+            &cfg,
+            400,
+            0,
+            s0 + 1,
+        );
         assert!(
             dominance_violation(&seq, &par) < 0.12,
             "{}: seq not dominated by par",
             inst.label
         );
-        let ts = total_steps_samples(&inst.graph, inst.origin, Process::Sequential, &cfg, 400, 0, s0 + 2);
-        let tp = total_steps_samples(&inst.graph, inst.origin, Process::Parallel, &cfg, 400, 0, s0 + 3);
+        let ts = total_steps_samples(
+            &inst.graph,
+            inst.origin,
+            Process::Sequential,
+            &cfg,
+            400,
+            0,
+            s0 + 2,
+        );
+        let tp = total_steps_samples(
+            &inst.graph,
+            inst.origin,
+            Process::Parallel,
+            &cfg,
+            400,
+            0,
+            s0 + 3,
+        );
         let p = ks_p_value(&ts, &tp);
         assert!(p > 1e-3, "{}: total steps differ (p = {p})", inst.label);
     }
@@ -116,7 +161,9 @@ fn theorem_4_7_uniform_blocks_map_to_parallel() {
     let cfg = ProcessConfig::simple().recording();
     let mut rng = Xoshiro256pp::new(501);
     for trial in 0..10 {
-        let pb = run_parallel(&inst.graph, inst.origin, &cfg, &mut rng).block.unwrap();
+        let pb = run_parallel(&inst.graph, inst.origin, &cfg, &mut rng)
+            .block
+            .unwrap();
         let n = pb.n_rows();
         let mut srng = Xoshiro256pp::new(600 + trial);
         let schedule = std::iter::from_fn(move || Some(srng.random_range(1..n)));

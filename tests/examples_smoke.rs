@@ -1,0 +1,77 @@
+//! Builds and runs every `examples/` binary, so the documentation examples
+//! referenced from README.md can never silently rot: if an example stops
+//! compiling or starts crashing, `cargo test` fails.
+//!
+//! Each case shells out to the same `cargo` that is running the test
+//! (`CARGO` is set by cargo for test processes) — no network, same target
+//! directory, dev profile.
+
+use std::process::Command;
+
+/// Names must match the files in `examples/`; update when adding examples
+/// (the README quickstart section lists the same four).
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "coupon_collector",
+    "load_balancing",
+    "aggregate_shape",
+];
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example {name} printed nothing — examples are documentation and must narrate"
+    );
+}
+
+#[test]
+fn all_examples_listed() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_owned)
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        on_disk, listed,
+        "examples/ and the EXAMPLES smoke list are out of sync"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn coupon_collector_runs() {
+    run_example("coupon_collector");
+}
+
+#[test]
+fn load_balancing_runs() {
+    run_example("load_balancing");
+}
+
+#[test]
+fn aggregate_shape_runs() {
+    run_example("aggregate_shape");
+}

@@ -20,10 +20,18 @@ fn clique_constants_near_kappa_cc_and_pi2_over_6() {
     let seq_c = seq.mean / n as f64;
     let par_c = par.mean / n as f64;
     // generous windows: finite-n effects + sampling noise
-    assert!((seq_c - kappa_cc_default()).abs() < 0.35, "t_seq/n = {seq_c}");
+    assert!(
+        (seq_c - kappa_cc_default()).abs() < 0.35,
+        "t_seq/n = {seq_c}"
+    );
     assert!((par_c - PI2_OVER_6).abs() < 0.4, "t_par/n = {par_c}");
     // the ~30% gap (Remark 5.3) must be visible
-    assert!(par.mean > 1.1 * seq.mean, "par {} vs seq {}", par.mean, seq.mean);
+    assert!(
+        par.mean > 1.1 * seq.mean,
+        "par {} vs seq {}",
+        par.mean,
+        seq.mean
+    );
 }
 
 #[test]
@@ -33,7 +41,10 @@ fn linear_families_scale_linearly() {
     let small = estimate_dispersion(&hypercube(5), 0, Process::Parallel, &cfg, 200, 0, SEED + 2);
     let big = estimate_dispersion(&hypercube(6), 0, Process::Parallel, &cfg, 200, 0, SEED + 3);
     let ratio = big.mean / small.mean;
-    assert!((1.5..3.0).contains(&ratio), "hypercube doubling ratio {ratio}");
+    assert!(
+        (1.5..3.0).contains(&ratio),
+        "hypercube doubling ratio {ratio}"
+    );
 }
 
 #[test]
@@ -54,12 +65,33 @@ fn who_wins_ordering_at_fixed_n() {
     let clique = Family::Complete.instance(64, &mut grng);
     let btree = Family::BinaryTree.instance(63, &mut grng);
     let cyc = Family::Cycle.instance(64, &mut grng);
-    let t_clique =
-        estimate_dispersion(&clique.graph, clique.origin, Process::Parallel, &cfg, 150, 0, SEED + 6);
-    let t_btree =
-        estimate_dispersion(&btree.graph, btree.origin, Process::Parallel, &cfg, 150, 0, SEED + 7);
-    let t_cycle =
-        estimate_dispersion(&cyc.graph, cyc.origin, Process::Parallel, &cfg, 150, 0, SEED + 8);
+    let t_clique = estimate_dispersion(
+        &clique.graph,
+        clique.origin,
+        Process::Parallel,
+        &cfg,
+        150,
+        0,
+        SEED + 6,
+    );
+    let t_btree = estimate_dispersion(
+        &btree.graph,
+        btree.origin,
+        Process::Parallel,
+        &cfg,
+        150,
+        0,
+        SEED + 7,
+    );
+    let t_cycle = estimate_dispersion(
+        &cyc.graph,
+        cyc.origin,
+        Process::Parallel,
+        &cfg,
+        150,
+        0,
+        SEED + 8,
+    );
     assert!(
         t_clique.mean < t_btree.mean && t_btree.mean < t_cycle.mean,
         "ordering violated: clique {} tree {} cycle {}",
@@ -73,8 +105,24 @@ fn who_wins_ordering_at_fixed_n() {
 fn lazy_factor_two() {
     // Theorem 4.3 on the clique at n = 128
     let g = complete(128);
-    let seq_s = estimate_dispersion(&g, 0, Process::Sequential, &ProcessConfig::simple(), 300, 0, SEED + 9);
-    let seq_l = estimate_dispersion(&g, 0, Process::Sequential, &ProcessConfig::lazy(), 300, 0, SEED + 10);
+    let seq_s = estimate_dispersion(
+        &g,
+        0,
+        Process::Sequential,
+        &ProcessConfig::simple(),
+        300,
+        0,
+        SEED + 9,
+    );
+    let seq_l = estimate_dispersion(
+        &g,
+        0,
+        Process::Sequential,
+        &ProcessConfig::lazy(),
+        300,
+        0,
+        SEED + 10,
+    );
     let ratio = seq_l.mean / seq_s.mean;
     assert!((1.6..2.4).contains(&ratio), "lazy/simple = {ratio}");
 }

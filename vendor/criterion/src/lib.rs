@@ -1,0 +1,196 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` macros, the
+//! [`Criterion`] builder methods the workspace benches call
+//! (`warm_up_time`, `measurement_time`, `sample_size`), `bench_function`,
+//! `benchmark_group`, and [`Bencher::iter`]. Instead of criterion's
+//! statistical machinery it reports mean wall-clock time per iteration on
+//! stdout — enough to compare hot paths locally while staying
+//! dependency-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use core::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark timing loop handed to the closure of `bench_function`.
+pub struct Bencher<'a> {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    result: &'a mut Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Calls `f` repeatedly — first for the warm-up window, then for the
+    /// measurement window — and records mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            black_box(f());
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if started.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        *self.result = Some(started.elapsed().as_secs_f64() / iters as f64);
+    }
+}
+
+/// Benchmark driver mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Much shorter than real criterion (3s/5s): this harness is for
+            // quick local comparisons, not publication-grade statistics.
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes runs by wall
+    /// clock only.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut result = None;
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: &mut result,
+        };
+        f(&mut b);
+        report(&id, result);
+        self
+    }
+
+    /// Opens a named group; group benchmarks are reported as `group/id`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Group handle returned by [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group (a no-op in this harness, kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, result: Option<f64>) {
+    match result {
+        Some(secs) => {
+            let (value, unit) = if secs >= 1.0 {
+                (secs, "s")
+            } else if secs >= 1e-3 {
+                (secs * 1e3, "ms")
+            } else if secs >= 1e-6 {
+                (secs * 1e6, "µs")
+            } else {
+                (secs * 1e9, "ns")
+            };
+            println!("{id:<40} time: {value:>10.3} {unit}/iter");
+        }
+        None => println!("{id:<40} (no Bencher::iter call)"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms:
+/// `criterion_group!(name, target, ..)` and
+/// `criterion_group! { name = n; config = expr; targets = t, .. }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny/add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        tiny(&mut c);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| b.iter(|| black_box(0)));
+        group.finish();
+    }
+}

@@ -1,0 +1,81 @@
+//! Minimal offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Only the surface this workspace uses is provided: [`Mutex`] with a
+//! non-poisoning `lock()` that returns the guard directly (parking_lot
+//! semantics — a panicked holder does not poison the lock for others).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard, PoisonError};
+
+/// A mutual-exclusion lock with `parking_lot`'s non-poisoning `lock()`
+/// signature, implemented over [`std::sync::Mutex`].
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available. Unlike
+    /// `std::sync::Mutex::lock` this never returns a poison error: if a
+    /// previous holder panicked, the data is handed over as-is.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns a mutable reference to the inner value without locking
+    /// (possible because `&mut self` proves exclusive access).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn contended_counter() {
+        let m = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+}

@@ -1,0 +1,428 @@
+//! Minimal offline stand-in for the `rand` 0.9 API surface used by this
+//! workspace. The container building this repo has no crates.io access, so
+//! the workspace vendors the subset it needs:
+//!
+//! * [`rand_core::TryRng`] — fallible generator core; the infallible case
+//!   (`Error = Infallible`) gets [`Rng`] through a blanket impl.
+//! * [`Rng`] — infallible `next_u32`/`next_u64`/`fill_bytes`.
+//! * [`RngExt`] — `random::<T>()` and `random_range(..)`, blanket-implemented
+//!   for every [`Rng`].
+//! * [`SeedableRng`] — `from_seed` / `seed_from_u64`.
+//! * [`rngs::StdRng`] — a deterministic, seedable default generator. Unlike
+//!   upstream (ChaCha12) this is Xoshiro256++; streams differ from real
+//!   `rand`, but every consumer in this repo only relies on determinism and
+//!   distributional quality, not on exact upstream streams.
+//!
+//! Uniform integer ranges use rejection sampling below a multiple of the
+//! range width, so `random_range` is exactly uniform, not modulo-biased.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Core generator traits (stand-in for the `rand_core` re-export).
+pub mod rand_core {
+    /// A possibly-fallible random generator. Infallible implementations
+    /// (`Error = Infallible`) receive [`crate::Rng`] via a blanket impl.
+    pub trait TryRng {
+        /// Error produced when the underlying source fails.
+        type Error;
+
+        /// Returns the next random `u32`, or a source error.
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+        /// Returns the next random `u64`, or a source error.
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+        /// Fills `dest` with random bytes, or returns a source error.
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}
+
+use core::convert::Infallible;
+use core::ops::{Range, RangeInclusive};
+
+/// An infallible random generator: the workhorse trait bound of the
+/// workspace (`fn step<R: Rng>(rng: &mut R)`).
+pub trait Rng {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R> Rng for R
+where
+    R: rand_core::TryRng<Error = Infallible>,
+{
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => {}
+            Err(e) => match e {},
+        }
+    }
+}
+
+/// Types that can be sampled from a generator's "standard" distribution:
+/// uniform over the full domain for integers and `bool`, uniform on
+/// `[0, 1)` for floats.
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for u64 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardUniform for usize {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    /// 53 uniform bits scaled into `[0, 1)` — the standard construction.
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Draws a uniform `u64` in `[0, width)` by rejection below the largest
+/// multiple of `width`, avoiding modulo bias. `width` must be nonzero.
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    if width.is_power_of_two() {
+        return rng.next_u64() & (width - 1);
+    }
+    // Largest multiple of `width` that fits in u64; acceptance odds > 1/2.
+    let zone = (u64::MAX / width) * width;
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % width;
+        }
+    }
+}
+
+/// Types usable as the element of a `random_range` range.
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `[low, high)`. Panics if the range is empty.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// Draws uniformly from `[low, high]`. Panics if `low > high`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "random_range: empty range");
+                let width = (high as i128 - low as i128) as u64;
+                low.wrapping_add(uniform_below(rng, width) as $t)
+            }
+
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "random_range: empty range");
+                let width = (high as i128 - low as i128) as u128 + 1;
+                if width > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64/usize domain.
+                    return (rng.next_u64() as i128 + low as i128) as $t;
+                }
+                low.wrapping_add(uniform_below(rng, width as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "random_range: empty range");
+        low + (high - low) * f64::sample_standard(rng)
+    }
+
+    #[inline]
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        // `low..=low` is valid for floats (always yields `low`); the open
+        // upper end is otherwise indistinguishable at f64 resolution.
+        assert!(low <= high, "random_range: empty range");
+        low + (high - low) * f64::sample_standard(rng)
+    }
+}
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value from the standard distribution of `T` (uniform for
+    /// integers and `bool`, `[0, 1)` for floats).
+    #[inline]
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`. Panics on empty ranges.
+    #[inline]
+    fn random_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Generators constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it through SplitMix64
+    /// into a full seed.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut s = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64_step(&mut s).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn splitmix64_step(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::rand_core::TryRng;
+    use super::{splitmix64_step, SeedableRng};
+    use core::convert::Infallible;
+
+    /// The default deterministic generator. Upstream `rand` uses ChaCha12;
+    /// this stand-in uses Xoshiro256++ (Blackman & Vigna), which is more
+    /// than adequate for the statistical tests and simulations here but
+    /// produces *different streams* than real `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl TryRng for StdRng {
+        type Error = Infallible;
+
+        #[inline]
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.next() >> 32) as u32)
+        }
+
+        #[inline]
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            Ok(self.next())
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            let mut chunks = dest.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let bytes = self.next().to_le_bytes();
+                rem.copy_from_slice(&bytes[..rem.len()]);
+            }
+            Ok(())
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            if s == [0; 4] {
+                // Xoshiro must not start from the all-zero state.
+                let mut sm = 0x9E3779B97F4A7C15;
+                for word in s.iter_mut() {
+                    *word = splitmix64_step(&mut sm);
+                }
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = StdRng::seed_from_u64(4);
+        for i in 0..5_000usize {
+            let hi = 1 + i % 17;
+            let x = r.random_range(0..hi);
+            assert!(x < hi);
+            let y = r.random_range(0..=i);
+            assert!(y <= i);
+        }
+    }
+
+    #[test]
+    fn range_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[r.random_range(0..7)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 7.0).abs() < 0.01, "{frac}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_all_lengths() {
+        for len in 0..40 {
+            let mut r = StdRng::seed_from_u64(6);
+            let mut buf = vec![0u8; len];
+            r.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0));
+            }
+        }
+    }
+}
