@@ -1,10 +1,24 @@
 //! Minimal command-line options shared by the experiment binaries.
 //!
 //! Flags (all optional):
-//! `--trials K`, `--seed S`, `--threads T`, `--sizes a,b,c`, `--csv`,
+//! `--trials K`, `--seed S`, `--threads T`, `--sizes a,b,c`,
+//! `--format text|csv|json` (`--csv` is shorthand for `--format csv`),
 //! plus free positional arguments interpreted by each binary.
 
 use dispersion_sim::default_threads;
+use dispersion_sim::table::TextTable;
+
+/// How a binary should serialise its result tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Aligned human-readable text table.
+    #[default]
+    Text,
+    /// Comma-separated values with a header row.
+    Csv,
+    /// Newline-delimited JSON records (`BENCH_*.json` captures).
+    Json,
+}
 
 /// Parsed command-line options.
 #[derive(Clone, Debug)]
@@ -17,8 +31,11 @@ pub struct Options {
     pub threads: usize,
     /// Instance sizes to sweep (`--sizes 32,64,128`).
     pub sizes: Vec<usize>,
-    /// Emit CSV instead of an aligned text table.
+    /// Emit CSV instead of an aligned text table (kept in sync with
+    /// [`Options::format`]; prefer `format`/[`Options::render`]).
     pub csv: bool,
+    /// Table serialisation selected by `--format` / `--csv`.
+    pub format: OutputFormat,
     /// Positional (non-flag) arguments.
     pub positional: Vec<String>,
 }
@@ -32,6 +49,7 @@ impl Options {
             threads: default_threads(),
             sizes: Vec::new(),
             csv: false,
+            format: OutputFormat::Text,
             positional: Vec::new(),
         }
     }
@@ -60,10 +78,22 @@ impl Options {
                         })
                         .collect();
                 }
-                "--csv" => opts.csv = true,
+                "--csv" => opts.format = OutputFormat::Csv,
+                "--format" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| panic!("--format needs a value"));
+                    opts.format = match v.as_str() {
+                        "text" => OutputFormat::Text,
+                        "csv" => OutputFormat::Csv,
+                        "json" => OutputFormat::Json,
+                        other => panic!("--format must be text, csv or json, got {other:?}"),
+                    };
+                }
                 _ => opts.positional.push(arg),
             }
         }
+        opts.csv = opts.format == OutputFormat::Csv;
         opts
     }
 
@@ -79,6 +109,16 @@ impl Options {
             default.to_vec()
         } else {
             self.sizes.clone()
+        }
+    }
+
+    /// Serialises a table in the selected [`OutputFormat`] (with a trailing
+    /// newline), so every binary prints via `print!("{}", opts.render(&t))`.
+    pub fn render(&self, t: &TextTable) -> String {
+        match self.format {
+            OutputFormat::Text => t.render(),
+            OutputFormat::Csv => t.to_csv(),
+            OutputFormat::Json => t.to_json_lines(),
         }
     }
 }
@@ -131,5 +171,33 @@ mod tests {
     #[should_panic(expected = "--trials needs a")]
     fn missing_value_panics() {
         let _ = parse(&["--trials"]);
+    }
+
+    #[test]
+    fn format_flag_parses_all_variants() {
+        assert_eq!(parse(&[]).format, OutputFormat::Text);
+        assert_eq!(parse(&["--format", "text"]).format, OutputFormat::Text);
+        assert_eq!(parse(&["--format", "csv"]).format, OutputFormat::Csv);
+        assert_eq!(parse(&["--format", "json"]).format, OutputFormat::Json);
+        // --csv stays a working alias and keeps the legacy bool in sync
+        let o = parse(&["--csv"]);
+        assert_eq!(o.format, OutputFormat::Csv);
+        assert!(o.csv);
+        assert!(!parse(&["--format", "json"]).csv);
+    }
+
+    #[test]
+    #[should_panic(expected = "--format must be")]
+    fn bad_format_panics() {
+        let _ = parse(&["--format", "xml"]);
+    }
+
+    #[test]
+    fn render_matches_format() {
+        let mut t = TextTable::new(["n"]);
+        t.push_row(["4"]);
+        assert_eq!(parse(&["--csv"]).render(&t), "n\n4\n");
+        assert_eq!(parse(&["--format", "json"]).render(&t), "{\"n\":4}\n");
+        assert!(parse(&[]).render(&t).contains('-'));
     }
 }

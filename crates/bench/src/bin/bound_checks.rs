@@ -86,7 +86,7 @@ fn main() {
             fmt_f(thm35_spectral(g)),
         ]);
     }
-    print!("{}", if opts.csv { up.to_csv() } else { up.render() });
+    print!("{}", opts.render(&up));
     println!(
         "\n(exceed% should be ~0; thm3.3/3.5 columns must dominate 'max τ_par' of the lazy runs)"
     );
@@ -138,7 +138,7 @@ fn main() {
             fmt_f(mean(&seq_lazy)),
         ]);
     }
-    print!("{}", if opts.csv { lo.to_csv() } else { lo.render() });
+    print!("{}", opts.render(&lo));
     println!("\n(E[τ_seq] must dominate |E|/Δ up to a constant; trees must exceed 2n−3;");
     println!(" E[τ_seq,lazy] must dominate t_mix up to a constant — Prop 3.9)");
 }

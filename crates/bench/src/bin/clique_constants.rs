@@ -55,7 +55,7 @@ fn main() {
             fmt_f(par.mean / seq.mean),
         ]);
     }
-    print!("{}", if opts.csv { t.to_csv() } else { t.render() });
+    print!("{}", opts.render(&t));
     println!(
         "\npaper: the two constants are distinct (Remark 5.3), ratio {:.3}",
         PI2_OVER_6 / kappa_cc_default()

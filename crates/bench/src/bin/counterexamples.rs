@@ -44,7 +44,7 @@ fn main() {
         fmt_f(s.max),
         fmt_f(slow_frac),
     ]);
-    print!("{}", t.render());
+    print!("{}", opts.render(&t));
     println!(
         "(paper: slow branch has probability ≈ 1/e ≈ 0.368; median ≪ mean ⇒ no concentration)"
     );
@@ -71,7 +71,7 @@ fn main() {
         fmt_f(s2.max),
         fmt_f(slow2),
     ]);
-    print!("{}", t2.render());
+    print!("{}", opts.render(&t2));
     println!("(paper: E ≈ Θ(n) but Pr[Ω(n²)] = Ω(1/n) — rare catastrophic runs)\n");
 
     // ---- Prop 3.8: tree with path — t_hit >> t_seq ----
@@ -91,7 +91,7 @@ fn main() {
     );
     let mut t3 = TextTable::new(["t_hit (exact)", "E[τ_seq]", "t_hit / t_seq"]);
     t3.push_row([fmt_f(thit), fmt_f(s3.mean), fmt_f(thit / s3.mean)]);
-    print!("{}", t3.render());
+    print!("{}", opts.render(&t3));
     println!("(paper: t_hit = Ω(n^{{3/2−ε}}) while t_seq = O(n log² n): the ratio grows with n)\n");
 
     // ---- Prop A.1: modified stopping rule ----
@@ -123,6 +123,6 @@ fn main() {
         fmt_f(sm.median),
         fmt_f(sm.max),
     ]);
-    print!("{}", t4.render());
+    print!("{}", opts.render(&t4));
     println!("(paper: the delayed rule is O(n log n) while first-vacant is Ω(n²) w.p. Ω(1))");
 }

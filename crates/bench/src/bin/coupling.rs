@@ -93,7 +93,7 @@ fn main() {
             fmt_f(ks_p_value(&ts, &tp)),
         ]);
     }
-    print!("{}", if opts.csv { t.to_csv() } else { t.render() });
+    print!("{}", opts.render(&t));
     println!(
         "\n(dominance violation ≈ 0 supports τ_seq ⪯ τ_par; KS p ≫ 0 supports equidistribution)"
     );
@@ -133,7 +133,7 @@ fn main() {
             fmt_f(ratio / nn.ln()),
         ]);
     }
-    print!("{}", if opts.csv { t2.to_csv() } else { t2.render() });
+    print!("{}", opts.render(&t2));
 
     println!("\n## Cut & Paste bijection spot checks (StP/PtS round trips)");
     let mut ok = 0usize;

@@ -56,6 +56,6 @@ fn main() {
             ]);
         }
     }
-    print!("{}", if opts.csv { t.to_csv() } else { t.render() });
+    print!("{}", opts.render(&t));
     println!("\n(ratios should approach 1 as n grows)");
 }

@@ -49,7 +49,7 @@ fn main() {
             t.push_row([inst.label.to_string(), format!("{frac:.2}"), fmt_f(s.mean)]);
         }
     }
-    print!("{}", t.render());
+    print!("{}", opts.render(&t));
     println!("(the paper conjectures the dispersion time is maximal at k = n)\n");
 
     // ---- random origins ----
@@ -90,7 +90,7 @@ fn main() {
             fmt_f(ss.mean / sp.mean),
         ]);
     }
-    print!("{}", t2.render());
+    print!("{}", opts.render(&t2));
     println!();
 
     // ---- milestones ----
@@ -114,6 +114,6 @@ fn main() {
         let mean: f64 = runs.iter().map(|r| r[j] as f64).sum::<f64>() / runs.len() as f64;
         t3.push_row([j.to_string(), fmt_f(mean), fmt_f(mean / tmix)]);
     }
-    print!("{}", t3.render());
+    print!("{}", opts.render(&t3));
     println!("(lazy t_mix = {tmix}; the paper: at least n/2 walks settle within O(t_mix))");
 }

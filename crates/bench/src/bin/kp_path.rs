@@ -88,6 +88,6 @@ fn main() {
             fmt_f(m.mean / norm_log2),
         ]);
     }
-    print!("{}", if opts.csv { t.to_csv() } else { t.render() });
+    print!("{}", opts.render(&t));
     println!("\n(Theorem 5.4: all three normalised columns converge to the same κ_p)");
 }

@@ -69,6 +69,6 @@ fn main() {
             ]);
         }
     }
-    print!("{}", if opts.csv { t.to_csv() } else { t.render() });
+    print!("{}", opts.render(&t));
     println!("\n(paper predicts both ratios → 2 as n → ∞)");
 }

@@ -42,7 +42,7 @@ fn main() {
         ns.push(nf);
         means.push(s.mean);
     }
-    print!("{}", if opts.csv { t.to_csv() } else { t.render() });
+    print!("{}", opts.render(&t));
     if ns.len() >= 2 {
         let fit = fit_power(&ns, &means);
         println!(

@@ -79,7 +79,7 @@ fn main() {
             ]);
         }
         println!("## {} — paper predicts Θ({shape_label})", family.label());
-        print!("{}", if opts.csv { t.to_csv() } else { t.render() });
+        print!("{}", opts.render(&t));
 
         if pts.len() >= 2 {
             let ns: Vec<f64> = pts.iter().map(|p| p.n as f64).collect();

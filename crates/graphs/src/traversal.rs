@@ -56,6 +56,41 @@ pub fn diameter(g: &Graph) -> Option<usize> {
     Some(best)
 }
 
+/// Double-sweep diameter bounds `(lower, upper)` in three BFS passes
+/// (`O(m)`), for callers that only need a scale estimate and cannot afford
+/// the `O(n·m)` exact [`diameter`] — e.g. diagnostics while building the
+/// `n ≥ 10⁵` instances the sparse solvers unlock.
+///
+/// The lower bound is the best eccentricity seen (exact on trees, where the
+/// double sweep provably finds a diametral pair); the upper bound is twice
+/// the smallest eccentricity seen, since `diam ≤ 2·ecc(v)` for every `v`.
+/// Returns `None` on disconnected graphs.
+pub fn diameter_bounds(g: &Graph) -> Option<(usize, usize)> {
+    if g.n() <= 1 {
+        return Some((0, 0));
+    }
+    // sweep 1: from an arbitrary vertex to its farthest vertex u
+    let d0 = bfs_distances(g, 0);
+    if d0.contains(&usize::MAX) {
+        return None;
+    }
+    let ecc0 = *d0.iter().max().unwrap();
+    let u = d0.iter().position(|&d| d == ecc0).unwrap() as Vertex;
+    // sweep 2: ecc(u) is the classic double-sweep lower bound
+    let du = bfs_distances(g, u);
+    let ecc_u = *du.iter().max().unwrap();
+    let w = du.iter().position(|&d| d == ecc_u).unwrap() as Vertex;
+    // sweep 3: the far endpoint's eccentricity can only tighten both sides
+    let dw = bfs_distances(g, w);
+    let ecc_w = *dw.iter().max().unwrap();
+    let lower = ecc0.max(ecc_u).max(ecc_w);
+    let upper = 2 * ecc0.min(ecc_u).min(ecc_w);
+    if lower == upper || is_tree(g) {
+        return Some((lower, lower));
+    }
+    Some((lower, upper))
+}
+
 /// Whether the graph is bipartite (no odd cycle). Self-loops make a graph
 /// non-bipartite.
 ///
@@ -159,5 +194,36 @@ mod tests {
     #[test]
     fn hypercube_diameter_is_dimension() {
         assert_eq!(diameter(&hypercube(5)), Some(5));
+    }
+
+    #[test]
+    fn diameter_bounds_exact_on_trees() {
+        use crate::generators::tree::binary_tree;
+        for g in [path(9), star(7), binary_tree(4)] {
+            let exact = diameter(&g).unwrap();
+            assert_eq!(diameter_bounds(&g), Some((exact, exact)));
+        }
+    }
+
+    #[test]
+    fn diameter_bounds_bracket_exact_value() {
+        for g in [cycle(8), cycle(9), complete(6), hypercube(4)] {
+            let exact = diameter(&g).unwrap();
+            let (lo, hi) = diameter_bounds(&g).unwrap();
+            assert!(lo <= exact && exact <= hi, "{exact} not in [{lo},{hi}]");
+            assert!(hi <= 2 * lo.max(1));
+        }
+    }
+
+    #[test]
+    fn diameter_bounds_none_when_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(diameter_bounds(&g), None);
+    }
+
+    #[test]
+    fn diameter_bounds_singleton() {
+        let g = Graph::from_edges(1, &[]);
+        assert_eq!(diameter_bounds(&g), Some((0, 0)));
     }
 }

@@ -5,20 +5,52 @@
 //! `Q` is `P` with the target row and column deleted. For all-pairs we use
 //! the fundamental matrix `Z = (I − P + 1π)⁻¹`, giving
 //! `t_hit(u, v) = (Z[v, v] − Z[u, v]) / π(v)` with a single `O(n³)` inverse.
+//!
+//! Single-target/set solves also run on the sparse CG engine
+//! (`dispersion-solve`): the `_with` variants take a [`Solver`], and the
+//! plain functions use [`Solver::Auto`], which switches from dense LU to
+//! sparse CG above [`dispersion_solve::DENSE_LIMIT`] states.
 
 use crate::stationary::stationary;
 use crate::transition::{transition_matrix, WalkKind};
 use dispersion_graphs::{Graph, Vertex};
 use dispersion_linalg::{Lu, Matrix};
+use dispersion_solve::{CgSettings, Solver};
 
 /// Expected hitting time of the set `targets` from every vertex
-/// (`0` on the targets themselves).
+/// (`0` on the targets themselves), on the automatically chosen backend.
 ///
 /// # Panics
 ///
 /// Panics if `targets` is empty or the complement system is singular
 /// (disconnected graph).
 pub fn hitting_times_to_set(g: &Graph, kind: WalkKind, targets: &[Vertex]) -> Vec<f64> {
+    hitting_times_to_set_with(g, kind, targets, Solver::Auto)
+}
+
+/// [`hitting_times_to_set`] on an explicit [`Solver`] backend.
+///
+/// # Panics
+///
+/// Panics if `targets` is empty or the system cannot be solved
+/// (disconnected graph: singular LU on [`Solver::Dense`], CG
+/// non-convergence on [`Solver::SparseCg`]).
+pub fn hitting_times_to_set_with(
+    g: &Graph,
+    kind: WalkKind,
+    targets: &[Vertex],
+    solver: Solver,
+) -> Vec<f64> {
+    match solver.resolve(g.n()) {
+        Solver::SparseCg => {
+            dispersion_solve::hitting_times_to_set_sparse(g, kind, targets, &CgSettings::default())
+                .expect("hitting-time system unsolvable: graph disconnected?")
+        }
+        _ => hitting_times_to_set_dense(g, kind, targets),
+    }
+}
+
+fn hitting_times_to_set_dense(g: &Graph, kind: WalkKind, targets: &[Vertex]) -> Vec<f64> {
     assert!(!targets.is_empty(), "need at least one target");
     let n = g.n();
     let mut is_target = vec![false; n];
@@ -55,10 +87,15 @@ pub fn hitting_times_to_set(g: &Graph, kind: WalkKind, targets: &[Vertex]) -> Ve
 
 /// Expected hitting time from `u` to `v`.
 pub fn hitting_time(g: &Graph, kind: WalkKind, u: Vertex, v: Vertex) -> f64 {
+    hitting_time_with(g, kind, u, v, Solver::Auto)
+}
+
+/// [`hitting_time`] on an explicit [`Solver`] backend.
+pub fn hitting_time_with(g: &Graph, kind: WalkKind, u: Vertex, v: Vertex, solver: Solver) -> f64 {
     if u == v {
         return 0.0;
     }
-    hitting_times_to_set(g, kind, &[v])[u as usize]
+    hitting_times_to_set_with(g, kind, &[v], solver)[u as usize]
 }
 
 /// All-pairs hitting-time matrix `H[u][v] = t_hit(u, v)` via the fundamental
@@ -266,5 +303,18 @@ mod tests {
         let g = path(9);
         let t = max_hitting_time(&g, WalkKind::Simple);
         assert!((t - 64.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backends_agree_on_set_hitting() {
+        use dispersion_solve::Solver;
+        let g = cycle(11);
+        for kind in [WalkKind::Simple, WalkKind::Lazy] {
+            let dense = hitting_times_to_set_with(&g, kind, &[3, 7], Solver::Dense);
+            let sparse = hitting_times_to_set_with(&g, kind, &[3, 7], Solver::SparseCg);
+            for (a, b) in dense.iter().zip(&sparse) {
+                assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+            }
+        }
     }
 }

@@ -15,6 +15,12 @@
 //! * [`cover`] — Matthews cover-time bounds,
 //! * [`walker`] — Monte-Carlo simulation of single walks.
 //!
+//! Every exact solve runs on a pluggable [`Solver`] backend: the plain
+//! functions use `Solver::Auto` (dense LU/Jacobi up to
+//! `dispersion_solve::DENSE_LIMIT` = 512 states, sparse CG/Lanczos from
+//! `dispersion-solve` beyond), and `_with` variants accept an explicit
+//! choice.
+//!
 //! ```
 //! use dispersion_graphs::generators::path;
 //! use dispersion_markov::{hitting::hitting_time, transition::WalkKind};
@@ -38,6 +44,7 @@ pub mod stationary;
 pub mod transition;
 pub mod walker;
 
+pub use dispersion_solve::Solver;
 pub use hitting::{all_pairs_hitting, hitting_time, max_hitting_time};
 pub use mixing::{mixing_time, spectral_gap};
 pub use stationary::stationary;

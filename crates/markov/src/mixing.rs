@@ -12,12 +12,15 @@ use crate::transition::{normalized_adjacency, transition_matrix, WalkKind};
 use dispersion_graphs::Graph;
 use dispersion_linalg::vector::total_variation;
 use dispersion_linalg::{jacobi_eigen, Matrix};
+use dispersion_solve::Solver;
 
 /// The default mixing threshold `ε = 1/4` used throughout the literature.
 pub const DEFAULT_EPS: f64 = 0.25;
 
 /// All eigenvalues of the walk matrix (via the similar symmetric matrix
-/// `N = D^{-1/2} A D^{-1/2}`), descending.
+/// `N = D^{-1/2} A D^{-1/2}`), descending. Always dense (`O(n³)` per Jacobi
+/// sweep): the sparse engine only estimates the spectrum's edge — use
+/// [`lambda2_with`] / [`spectral_gap_with`] when only the gap is needed.
 pub fn walk_spectrum(g: &Graph, kind: WalkKind) -> Vec<f64> {
     let n = normalized_adjacency(g, kind);
     jacobi_eigen(&n, 1e-12).values
@@ -25,27 +28,60 @@ pub fn walk_spectrum(g: &Graph, kind: WalkKind) -> Vec<f64> {
 
 /// Second-largest eigenvalue `λ₂` of the walk matrix.
 pub fn lambda2(g: &Graph, kind: WalkKind) -> f64 {
-    walk_spectrum(g, kind)[1]
+    lambda2_with(g, kind, Solver::Auto)
+}
+
+/// [`lambda2`] on an explicit [`Solver`] backend: the full Jacobi spectrum
+/// when dense, a deflated Lanczos edge estimate when sparse.
+pub fn lambda2_with(g: &Graph, kind: WalkKind, solver: Solver) -> f64 {
+    match solver.resolve(g.n()) {
+        Solver::SparseCg => dispersion_solve::lambda2_sparse(g, kind),
+        _ => walk_spectrum(g, kind)[1],
+    }
 }
 
 /// Second-largest eigenvalue *in absolute value*
 /// `λ* = max(|λ₂|, |λ_n|)` — the quantity in the paper's expander
 /// definition (`1 − λ* = Ω(1)`).
 pub fn lambda_star(g: &Graph, kind: WalkKind) -> f64 {
-    let spec = walk_spectrum(g, kind);
-    let l2 = spec[1].abs();
-    let ln = spec.last().unwrap().abs();
-    l2.max(ln)
+    lambda_star_with(g, kind, Solver::Auto)
+}
+
+/// [`lambda_star`] on an explicit [`Solver`] backend.
+pub fn lambda_star_with(g: &Graph, kind: WalkKind, solver: Solver) -> f64 {
+    match solver.resolve(g.n()) {
+        Solver::SparseCg => dispersion_solve::lambda_star_sparse(g, kind),
+        _ => {
+            let spec = walk_spectrum(g, kind);
+            spec[1].abs().max(spec.last().unwrap().abs())
+        }
+    }
 }
 
 /// Spectral gap `1 − λ*`.
 pub fn spectral_gap(g: &Graph, kind: WalkKind) -> f64 {
-    1.0 - lambda_star(g, kind)
+    spectral_gap_with(g, kind, Solver::Auto)
+}
+
+/// [`spectral_gap`] on an explicit [`Solver`] backend. The sparse path is
+/// clamped into `[0, 2]` (see `dispersion_solve::spectral_gap_sparse`) so
+/// last-digit Lanczos noise cannot produce a negative gap — and hence a
+/// negative relaxation time — downstream.
+pub fn spectral_gap_with(g: &Graph, kind: WalkKind, solver: Solver) -> f64 {
+    match solver.resolve(g.n()) {
+        Solver::SparseCg => dispersion_solve::spectral_gap_sparse(g, kind),
+        _ => 1.0 - lambda_star_with(g, kind, Solver::Dense),
+    }
 }
 
 /// Relaxation time `t_rel = 1 / (1 − λ*)`.
 pub fn relaxation_time(g: &Graph, kind: WalkKind) -> f64 {
-    1.0 / spectral_gap(g, kind)
+    relaxation_time_with(g, kind, Solver::Auto)
+}
+
+/// [`relaxation_time`] on an explicit [`Solver`] backend.
+pub fn relaxation_time_with(g: &Graph, kind: WalkKind, solver: Solver) -> f64 {
+    1.0 / spectral_gap_with(g, kind, solver)
 }
 
 /// Worst-case TV distance to stationarity after `t` steps:
@@ -118,7 +154,13 @@ fn power_from_squares(powers: &[Matrix], t: usize) -> Matrix {
 /// (Levin–Peres–Wilmer Theorems 12.4 and 12.5). Only meaningful for lazy
 /// (aperiodic) walks.
 pub fn mixing_time_bounds(g: &Graph, kind: WalkKind, eps: f64) -> (f64, f64) {
-    let trel = relaxation_time(g, kind);
+    mixing_time_bounds_with(g, kind, eps, Solver::Auto)
+}
+
+/// [`mixing_time_bounds`] on an explicit [`Solver`] backend (only the
+/// relaxation time depends on it; `π_min` is read off the degrees).
+pub fn mixing_time_bounds_with(g: &Graph, kind: WalkKind, eps: f64, solver: Solver) -> (f64, f64) {
+    let trel = relaxation_time_with(g, kind, solver);
     let pi_min = stationary(g).into_iter().fold(f64::INFINITY, f64::min);
     let lower = (trel - 1.0) * (1.0 / (2.0 * eps)).ln();
     let upper = trel * (1.0 / (eps * pi_min)).ln();
@@ -206,6 +248,20 @@ mod tests {
         assert!(gap_h5 < gap_h3);
         assert!((gap_h3 - 1.0 / 3.0).abs() < 1e-9);
         assert!((gap_h5 - 1.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backends_agree_on_gap_and_lambda2() {
+        for g in [cycle(12), complete(10), hypercube(4)] {
+            for kind in [WalkKind::Simple, WalkKind::Lazy] {
+                let d = spectral_gap_with(&g, kind, Solver::Dense);
+                let s = spectral_gap_with(&g, kind, Solver::SparseCg);
+                assert!((d - s).abs() < 1e-9, "gap {d} vs {s}");
+                let l2d = lambda2_with(&g, kind, Solver::Dense);
+                let l2s = lambda2_with(&g, kind, Solver::SparseCg);
+                assert!((l2d - l2s).abs() < 1e-9, "λ₂ {l2d} vs {l2s}");
+            }
+        }
     }
 
     #[test]

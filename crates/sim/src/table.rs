@@ -67,6 +67,27 @@ impl TextTable {
         out
     }
 
+    /// Renders as newline-delimited JSON: one object per data row, keyed by
+    /// the header. Cells that parse as finite numbers are emitted as JSON
+    /// numbers, everything else as strings — so `BENCH_*.json` trajectory
+    /// captures need no ad-hoc parsing.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push('{');
+            for (c, (key, cell)) in self.header.iter().zip(row).enumerate() {
+                if c > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(key));
+                out.push(':');
+                out.push_str(&json_value(cell));
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
     /// Renders as CSV.
     pub fn to_csv(&self) -> String {
         let esc = |s: &String| {
@@ -84,6 +105,40 @@ impl TextTable {
             out.push('\n');
         }
         out
+    }
+}
+
+/// JSON-escapes a string, including the surrounding quotes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A cell as a JSON value: a bare number when it parses as one (and is
+/// finite — JSON has no inf/nan), otherwise an escaped string. The parsed
+/// value is re-serialised through `f64`'s shortest-roundtrip `Display`, so
+/// Rust-parseable spellings that JSON forbids ("5.", ".5", "+3", "1e3")
+/// still come out as valid JSON numbers.
+fn json_value(cell: &str) -> String {
+    let numeric_chars = cell
+        .chars()
+        .all(|c| matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'));
+    match cell.parse::<f64>() {
+        Ok(x) if x.is_finite() && numeric_chars && !cell.is_empty() => format!("{x}"),
+        _ => json_string(cell),
     }
 }
 
@@ -130,6 +185,31 @@ mod tests {
     fn ragged_row_rejected() {
         let mut t = TextTable::new(["a", "b"]);
         t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn json_lines_numbers_and_strings() {
+        let mut t = TextTable::new(["family", "n", "mean"]);
+        t.push_row(["cycle", "16", "1.5"]);
+        t.push_row(["we\"ird", "8", "n/a"]);
+        let j = t.to_json_lines();
+        let lines: Vec<&str> = j.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"family":"cycle","n":16,"mean":1.5}"#);
+        assert_eq!(lines[1], r#"{"family":"we\"ird","n":8,"mean":"n/a"}"#);
+    }
+
+    #[test]
+    fn json_rejects_non_finite_lookalikes() {
+        // "inf" and "nan" parse as f64 but are not valid JSON numbers
+        assert_eq!(super::json_value("inf"), "\"inf\"");
+        assert_eq!(super::json_value("NaN"), "\"NaN\"");
+        assert_eq!(super::json_value(""), "\"\"");
+        // Rust-parseable but JSON-invalid spellings are normalised
+        assert_eq!(super::json_value("1e3"), "1000");
+        assert_eq!(super::json_value("5."), "5");
+        assert_eq!(super::json_value(".5"), "0.5");
+        assert_eq!(super::json_value("+3"), "3");
     }
 
     #[test]

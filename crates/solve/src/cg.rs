@@ -1,0 +1,230 @@
+//! Jacobi-preconditioned conjugate gradients for sparse SPD systems.
+//!
+//! Grounded-Laplacian systems (hitting times, effective resistances) are
+//! symmetric positive definite whenever the graph is connected, so CG
+//! converges in `O(m·√κ)` work — the replacement for the `O(n³)` dense LU
+//! path that capped exact computations at `n ≈ 2000`.
+
+use crate::sparse::SparseMatrix;
+
+/// Why an iterative solve failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// The residual did not drop below tolerance within the iteration
+    /// budget — for grounded Laplacians this almost always means the system
+    /// is singular because the graph is disconnected.
+    NotConverged {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Final relative residual `‖b − Ax‖ / ‖b‖`.
+        relative_residual: f64,
+    },
+    /// The preconditioner hit a zero (or negative) diagonal entry, so the
+    /// matrix cannot be SPD.
+    IndefiniteDiagonal {
+        /// Row with the offending diagonal.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotConverged {
+                iterations,
+                relative_residual,
+            } => write!(
+                f,
+                "CG did not converge after {iterations} iterations \
+                 (relative residual {relative_residual:.3e}); \
+                 the system is likely singular (disconnected graph?)"
+            ),
+            SolveError::IndefiniteDiagonal { row } => {
+                write!(f, "non-positive diagonal at row {row}: matrix is not SPD")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Tuning knobs for [`pcg_jacobi`].
+#[derive(Clone, Copy, Debug)]
+pub struct CgSettings {
+    /// Stop on normwise backward error: `‖b − Ax‖ ≤ rel_tol·(‖b‖ + ‖A‖∞·‖x‖)`.
+    /// (A plain `‖r‖ ≤ tol·‖b‖` test is unattainable in floating point when
+    /// `‖x‖ ≫ ‖b‖`, which is exactly the regime of ill-conditioned grounded
+    /// Laplacians — large paths, big tori.)
+    pub rel_tol: f64,
+    /// Iteration budget; `None` picks `10·n + 200`.
+    pub max_iters: Option<usize>,
+}
+
+impl Default for CgSettings {
+    /// Tight default (`rel_tol = 1e-14`, ~100× the double-precision
+    /// rounding floor) so CG answers agree with the dense LU oracles to
+    /// ≤ 1e-8 relative solution error on every Table 1 family.
+    fn default() -> Self {
+        CgSettings {
+            rel_tol: 1e-14,
+            max_iters: None,
+        }
+    }
+}
+
+/// Solves `A x = b` for SPD `A` by conjugate gradients with the Jacobi
+/// (diagonal) preconditioner.
+///
+/// # Errors
+///
+/// [`SolveError::NotConverged`] if the residual stagnates (singular or
+/// extremely ill-conditioned system); [`SolveError::IndefiniteDiagonal`]
+/// if some diagonal entry is `≤ 0`.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `b` has the wrong length.
+pub fn pcg_jacobi(
+    a: &SparseMatrix,
+    b: &[f64],
+    settings: &CgSettings,
+) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "CG needs a square matrix");
+    assert_eq!(b.len(), n, "right-hand side length mismatch");
+    let max_iters = settings.max_iters.unwrap_or(10 * n + 200);
+
+    let mut inv_diag = a.diagonal();
+    for (row, d) in inv_diag.iter_mut().enumerate() {
+        if *d <= 0.0 {
+            return Err(SolveError::IndefiniteDiagonal { row });
+        }
+        *d = 1.0 / *d;
+    }
+
+    let norm_b = norm(b);
+    if norm_b == 0.0 {
+        return Ok(vec![0.0; n]);
+    }
+    // ‖A‖∞ for the backward-error stopping test, one O(nnz) pass
+    let a_inf = (0..n)
+        .map(|r| a.row(r).1.iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0f64, f64::max);
+    let target = |x_norm: f64| settings.rel_tol * (norm_b + a_inf * x_norm);
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b − A·0
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for iter in 0..max_iters {
+        if norm(&r) <= target(norm(&x)) {
+            return Ok(x);
+        }
+        a.matvec_into(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // a direction of non-positive curvature: not SPD (singular)
+            return Err(SolveError::NotConverged {
+                iterations: iter,
+                relative_residual: norm(&r) / norm_b,
+            });
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_next = dot(&r, &z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    if norm(&r) <= target(norm(&x)) {
+        return Ok(x);
+    }
+    Err(SolveError::NotConverged {
+        iterations: max_iters,
+        relative_residual: norm(&r) / norm_b,
+    })
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[inline]
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dispersion_graphs::generators::{cycle, path};
+    use dispersion_graphs::Graph;
+
+    #[test]
+    fn solves_diagonal_system() {
+        let a = SparseMatrix::from_triplets(3, 3, &[(0, 0, 2.0), (1, 1, 4.0), (2, 2, 8.0)]);
+        let x = pcg_jacobi(&a, &[2.0, 4.0, 16.0], &CgSettings::default()).unwrap();
+        for (got, want) in x.iter().zip([1.0, 1.0, 2.0]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solves_grounded_path_laplacian() {
+        // ground the last vertex of a path: the solution of L x = e_0 is the
+        // resistance profile x_i = (n-1) - i ... i.e. distances to ground
+        let g = path(6);
+        let mut keep = vec![true; 6];
+        keep[5] = false;
+        let (l, _) = SparseMatrix::grounded_laplacian(&g, &keep);
+        let mut b = vec![0.0; 5];
+        b[0] = 1.0;
+        let x = pcg_jacobi(&l, &b, &CgSettings::default()).unwrap();
+        for (i, xi) in x.iter().enumerate() {
+            assert!((xi - (5 - i) as f64).abs() < 1e-10, "x[{i}] = {xi}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_is_zero_solution() {
+        let (l, _) = SparseMatrix::grounded_laplacian(&cycle(8), &{
+            let mut k = vec![true; 8];
+            k[0] = false;
+            k
+        });
+        let x = pcg_jacobi(&l, &[0.0; 7], &CgSettings::default()).unwrap();
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn disconnected_system_reports_failure() {
+        // two disjoint edges, grounded only in the first component: the
+        // restriction over the second component is singular
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut keep = vec![true; 4];
+        keep[0] = false;
+        let (l, _) = SparseMatrix::grounded_laplacian(&g, &keep);
+        let err = pcg_jacobi(&l, &[1.0, 1.0, 1.0], &CgSettings::default()).unwrap_err();
+        assert!(matches!(err, SolveError::NotConverged { .. }));
+        assert!(err.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn indefinite_diagonal_detected() {
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 0.0)]);
+        let err = pcg_jacobi(&a, &[1.0, 1.0], &CgSettings::default()).unwrap_err();
+        assert_eq!(err, SolveError::IndefiniteDiagonal { row: 1 });
+    }
+}

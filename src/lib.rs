@@ -25,3 +25,4 @@ pub use dispersion_graphs as graphs;
 pub use dispersion_linalg as linalg;
 pub use dispersion_markov as markov;
 pub use dispersion_sim as sim;
+pub use dispersion_solve as solve;
