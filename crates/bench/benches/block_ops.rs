@@ -14,8 +14,11 @@ fn recorded_blocks() -> (Block, Block) {
     let g = complete(128);
     let cfg = ProcessConfig::simple().recording();
     let mut rng = Xoshiro256pp::new(3);
-    let seq = run_sequential(&g, 0, &cfg, &mut rng).block.unwrap();
-    let par = run_parallel(&g, 0, &cfg, &mut rng).block.unwrap();
+    let seq = run_sequential(&g, 0, &cfg, &mut rng)
+        .unwrap()
+        .block
+        .unwrap();
+    let par = run_parallel(&g, 0, &cfg, &mut rng).unwrap().block.unwrap();
     (seq, par)
 }
 
@@ -37,7 +40,10 @@ fn bench_long_rows(c: &mut Criterion) {
     let g = cycle(64);
     let cfg = ProcessConfig::simple().recording();
     let mut rng = Xoshiro256pp::new(4);
-    let seq = run_sequential(&g, 0, &cfg, &mut rng).block.unwrap();
+    let seq = run_sequential(&g, 0, &cfg, &mut rng)
+        .unwrap()
+        .block
+        .unwrap();
     c.bench_function("block/StP/cycle64-long-rows", |b| {
         b.iter(|| black_box(sequential_to_parallel(&seq)));
     });

@@ -36,11 +36,23 @@ fn bench_processes(c: &mut Criterion) {
 
         group.bench_function(format!("seq/{}", inst.label), |b| {
             let mut rng = Xoshiro256pp::new(7);
-            b.iter(|| black_box(run_sequential(&g, origin, &cfg, &mut rng).dispersion_time));
+            b.iter(|| {
+                black_box(
+                    run_sequential(&g, origin, &cfg, &mut rng)
+                        .unwrap()
+                        .dispersion_time,
+                )
+            });
         });
         group.bench_function(format!("par/{}", inst.label), |b| {
             let mut rng = Xoshiro256pp::new(8);
-            b.iter(|| black_box(run_parallel(&g, origin, &cfg, &mut rng).dispersion_time));
+            b.iter(|| {
+                black_box(
+                    run_parallel(&g, origin, &cfg, &mut rng)
+                        .unwrap()
+                        .dispersion_time,
+                )
+            });
         });
     }
     group.finish();
@@ -49,11 +61,23 @@ fn bench_processes(c: &mut Criterion) {
     let clique = Family::Complete.instance(256, &mut grng);
     c.bench_function("unif/clique", |b| {
         let mut rng = Xoshiro256pp::new(9);
-        b.iter(|| black_box(run_uniform(&clique.graph, clique.origin, &cfg, &mut rng).settle_tick));
+        b.iter(|| {
+            black_box(
+                run_uniform(&clique.graph, clique.origin, &cfg, &mut rng)
+                    .unwrap()
+                    .settle_tick,
+            )
+        });
     });
     c.bench_function("ctu/clique", |b| {
         let mut rng = Xoshiro256pp::new(10);
-        b.iter(|| black_box(run_ctu(&clique.graph, clique.origin, &cfg, &mut rng).settle_time));
+        b.iter(|| {
+            black_box(
+                run_ctu(&clique.graph, clique.origin, &cfg, &mut rng)
+                    .unwrap()
+                    .settle_time,
+            )
+        });
     });
 }
 
@@ -66,12 +90,22 @@ fn bench_recording_overhead(c: &mut Criterion) {
     c.bench_function("seq/clique/plain", |b| {
         let mut rng = Xoshiro256pp::new(11);
         b.iter(|| {
-            black_box(run_sequential(&inst.graph, inst.origin, &plain, &mut rng).total_steps)
+            black_box(
+                run_sequential(&inst.graph, inst.origin, &plain, &mut rng)
+                    .unwrap()
+                    .total_steps,
+            )
         });
     });
     c.bench_function("seq/clique/recorded", |b| {
         let mut rng = Xoshiro256pp::new(11);
-        b.iter(|| black_box(run_sequential(&inst.graph, inst.origin, &rec, &mut rng).total_steps));
+        b.iter(|| {
+            black_box(
+                run_sequential(&inst.graph, inst.origin, &rec, &mut rng)
+                    .unwrap()
+                    .total_steps,
+            )
+        });
     });
 }
 

@@ -40,11 +40,23 @@ fn bench_full_process(c: &mut Criterion) {
     let cfg = ProcessConfig::simple();
     c.bench_function("seq-clique256/xoshiro", |b| {
         let mut rng = Xoshiro256pp::new(2);
-        b.iter(|| black_box(run_sequential(&g, 0, &cfg, &mut rng).dispersion_time));
+        b.iter(|| {
+            black_box(
+                run_sequential(&g, 0, &cfg, &mut rng)
+                    .unwrap()
+                    .dispersion_time,
+            )
+        });
     });
     c.bench_function("seq-clique256/stdrng", |b| {
         let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| black_box(run_sequential(&g, 0, &cfg, &mut rng).dispersion_time));
+        b.iter(|| {
+            black_box(
+                run_sequential(&g, 0, &cfg, &mut rng)
+                    .unwrap()
+                    .dispersion_time,
+            )
+        });
     });
 }
 

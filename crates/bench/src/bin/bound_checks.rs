@@ -13,11 +13,12 @@
 use dispersion_bench::Options;
 use dispersion_bounds::lower::{prop39_mixing_lower, thm36_edges_over_maxdeg, thm37_tree_lower};
 use dispersion_bounds::upper::{thm31_whp_threshold, thm33_spectral, thm35_spectral};
+use dispersion_core::engine::observer::PhaseTimes;
 use dispersion_core::process::ProcessConfig;
 use dispersion_graphs::families::Family;
 use dispersion_graphs::traversal::is_tree;
 use dispersion_markov::transition::WalkKind;
-use dispersion_sim::experiment::{dispersion_samples, Process};
+use dispersion_sim::experiment::{dispersion_samples, phase_time_samples, Process};
 use dispersion_sim::rng::Xoshiro256pp;
 use dispersion_sim::table::{fmt_f, TextTable};
 
@@ -44,6 +45,7 @@ fn main() {
         "thm3.1 whp",
         "exceed%",
         "max τ_par",
+        "t_half(lazy)",
         "thm3.3(lazy)",
         "thm3.5(lazy)",
     ]);
@@ -63,25 +65,28 @@ fn main() {
             opts.threads,
             s0,
         );
-        let par_lazy = dispersion_samples(
-            g,
-            inst.origin,
-            Process::Parallel,
-            &lazy,
-            opts.trials,
-            opts.threads,
-            s0 + 1,
-        );
+        // the lazy runs stream Thm 3.3 phase profiles out of the engine:
+        // phases[0] is the dispersion time, the half-milestone the round at
+        // which at most n/2 particles remained
+        let lazy_profiles =
+            phase_time_samples(g, inst.origin, &lazy, opts.trials, opts.threads, s0 + 1);
         let threshold = thm31_whp_threshold(g, WalkKind::Simple);
         let exceed = par.iter().filter(|&&x| x > threshold).count() as f64 / par.len() as f64;
         let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
-        let maxv = par_lazy.iter().copied().fold(0.0f64, f64::max);
+        let maxv = lazy_profiles
+            .iter()
+            .map(|p| p[0] as f64)
+            .fold(0.0f64, f64::max);
+        let j_half = PhaseTimes::half_index(g.n());
+        let half = lazy_profiles.iter().map(|p| p[j_half] as f64).sum::<f64>()
+            / lazy_profiles.len() as f64;
         up.push_row([
             inst.label.to_string(),
             fmt_f(mean(&par)),
             fmt_f(threshold),
             fmt_f(100.0 * exceed),
             fmt_f(maxv),
+            fmt_f(half),
             fmt_f(thm33_spectral(g)),
             fmt_f(thm35_spectral(g)),
         ]);

@@ -144,8 +144,8 @@ fn main() {
         let family = families[r % families.len()];
         let inst = family.instance(64, &mut grng);
         let rec = ProcessConfig::simple().recording();
-        let s = run_sequential(&inst.graph, inst.origin, &rec, &mut rng);
-        let p = run_parallel(&inst.graph, inst.origin, &rec, &mut rng);
+        let s = run_sequential(&inst.graph, inst.origin, &rec, &mut rng).unwrap();
+        let p = run_parallel(&inst.graph, inst.origin, &rec, &mut rng).unwrap();
         let sb = s.block.unwrap();
         let pb = p.block.unwrap();
         let stp = sequential_to_parallel(&sb);

@@ -1,0 +1,116 @@
+//! Engine throughput baseline: walker steps per second of the
+//! schedule-generic dispersion engine, per schedule × graph family.
+//!
+//! This is the repo's perf gate for the hot loop: run it with
+//! `--format json` and keep the output as `BENCH_engine_throughput.json`
+//! so refactors of `crates/core/src/engine/` can be compared row by row.
+//!
+//! ```text
+//! cargo run -p dispersion-bench --release --bin engine_throughput -- \
+//!     [--sizes 1024] [--trials 8] [--format json] [clique|cycle|...]
+//! ```
+//!
+//! Commentary goes to stderr; with `--format json` stdout is pure NDJSON,
+//! one record per schedule × family:
+//!
+//! ```text
+//! {"schedule":"par","family":"torus2d","n":1024,"trials":8,
+//!  "steps":..., "ticks":..., "secs":..., "steps_per_sec":..., "rate":"..."}
+//! ```
+
+use dispersion_bench::Options;
+use dispersion_core::engine::observer::Odometer;
+use dispersion_core::process::ProcessConfig;
+use dispersion_graphs::families::Family;
+use dispersion_sim::experiment::Process;
+use dispersion_sim::parallel::par_trials;
+use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::table::{fmt_rate, TextTable};
+
+fn default_families() -> Vec<Family> {
+    vec![
+        Family::Complete,
+        Family::Cycle,
+        Family::Hypercube,
+        Family::Torus2d,
+        Family::BinaryTree,
+    ]
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let n = opts.sizes_or(&[1024])[0];
+    let families: Vec<Family> = if opts.positional.is_empty() {
+        default_families()
+    } else {
+        opts.positional
+            .iter()
+            .map(|label| {
+                Family::table1()
+                    .into_iter()
+                    .find(|f| f.label() == label.as_str())
+                    .unwrap_or_else(|| panic!("unknown family {label:?}"))
+            })
+            .collect()
+    };
+    let schedules = [
+        Process::Sequential,
+        Process::Parallel,
+        Process::Uniform,
+        Process::Ctu,
+    ];
+    let cfg = ProcessConfig::simple();
+
+    eprintln!(
+        "# engine throughput: n ≈ {n}, trials = {}, threads = {}",
+        opts.trials, opts.threads
+    );
+    let mut t = TextTable::new([
+        "schedule",
+        "family",
+        "n",
+        "trials",
+        "steps",
+        "ticks",
+        "secs",
+        "steps_per_sec",
+        "rate",
+    ]);
+    for (fk, &family) in families.iter().enumerate() {
+        let mut grng = Xoshiro256pp::new(opts.seed ^ ((fk as u64) << 7));
+        let inst = family.instance(n, &mut grng);
+        for (sk, &process) in schedules.iter().enumerate() {
+            let seed = opts.seed + (100 * fk + sk) as u64;
+            let run_batch = |trials: usize| -> (u64, u64) {
+                let counts: Vec<(u64, u64)> = par_trials(trials, opts.threads, seed, |_, rng| {
+                    let mut odo = Odometer::default();
+                    process
+                        .run_observed(&inst.graph, inst.origin, &cfg, &mut odo, rng)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    (odo.steps, odo.ticks)
+                });
+                counts
+                    .into_iter()
+                    .fold((0, 0), |(s, k), (ds, dk)| (s + ds, k + dk))
+            };
+            // one warm-up trial keeps allocator effects out of the timing
+            let _ = run_batch(1);
+            let t0 = std::time::Instant::now();
+            let (steps, ticks) = run_batch(opts.trials.max(1));
+            let secs = t0.elapsed().as_secs_f64();
+            let rate = steps as f64 / secs.max(1e-9);
+            t.push_row([
+                process.label().to_string(),
+                inst.label.to_string(),
+                inst.graph.n().to_string(),
+                opts.trials.max(1).to_string(),
+                steps.to_string(),
+                ticks.to_string(),
+                format!("{secs:.4}"),
+                format!("{rate:.0}"),
+                fmt_rate(rate),
+            ]);
+        }
+    }
+    print!("{}", opts.render(&t));
+}

@@ -10,14 +10,13 @@
 //! ```
 
 use dispersion_bench::Options;
-use dispersion_core::process::partial::{
-    run_parallel_k, run_parallel_milestones, run_sequential_random_origins,
-};
+use dispersion_core::process::partial::{run_parallel_k, run_sequential_random_origins};
 use dispersion_core::process::sequential::run_sequential;
 use dispersion_core::process::ProcessConfig;
 use dispersion_graphs::families::Family;
 use dispersion_markov::mixing::mixing_time;
 use dispersion_markov::transition::WalkKind;
+use dispersion_sim::experiment::{mean_phase_profile, phase_time_samples};
 use dispersion_sim::parallel::par_samples;
 use dispersion_sim::rng::Xoshiro256pp;
 use dispersion_sim::stats::Summary;
@@ -42,7 +41,9 @@ fn main() {
                 opts.threads,
                 opts.seed + (100 * fk + ki) as u64,
                 |_, rng| {
-                    run_parallel_k(&inst.graph, inst.origin, k, &cfg, rng).dispersion_time as f64
+                    run_parallel_k(&inst.graph, inst.origin, k, &cfg, rng)
+                        .unwrap()
+                        .dispersion_time as f64
                 },
             );
             let s = Summary::from_samples(&samples);
@@ -71,14 +72,20 @@ fn main() {
             opts.trials,
             opts.threads,
             opts.seed + 200 + fk as u64,
-            |_, rng| run_sequential(&inst.graph, inst.origin, &cfg, rng).dispersion_time as f64,
+            |_, rng| {
+                run_sequential(&inst.graph, inst.origin, &cfg, rng)
+                    .unwrap()
+                    .dispersion_time as f64
+            },
         );
         let spread = par_samples(
             opts.trials,
             opts.threads,
             opts.seed + 300 + fk as u64,
             |_, rng| {
-                run_sequential_random_origins(&inst.graph, nn, &cfg, rng).dispersion_time as f64
+                run_sequential_random_origins(&inst.graph, nn, &cfg, rng)
+                    .unwrap()
+                    .dispersion_time as f64
             },
         );
         let ss = Summary::from_samples(&single);
@@ -102,16 +109,19 @@ fn main() {
     let tmix = mixing_time(&inst.graph, WalkKind::Lazy, 0.25, 1 << 20)
         .map(|t| t as f64)
         .unwrap_or(f64::NAN);
-    let runs: Vec<Vec<u64>> = (0..opts.trials.min(50))
-        .map(|i| {
-            let mut rng = Xoshiro256pp::new(opts.seed + 1000 + i as u64);
-            run_parallel_milestones(&inst.graph, inst.origin, &cfg, &mut rng).1
-        })
-        .collect();
-    let jmax = runs[0].len();
+    // milestones stream out of the engine's PhaseTimes observer: no
+    // per-run state beyond the profile itself
+    let runs = phase_time_samples(
+        &inst.graph,
+        inst.origin,
+        &cfg,
+        opts.trials.min(50),
+        opts.threads,
+        opts.seed + 1000,
+    );
+    let profile = mean_phase_profile(&runs);
     let mut t3 = TextTable::new(["j (≤2^j−1 left)", "mean round", "round/t_mix"]);
-    for j in (0..jmax).rev() {
-        let mean: f64 = runs.iter().map(|r| r[j] as f64).sum::<f64>() / runs.len() as f64;
+    for (j, &mean) in profile.iter().enumerate().rev() {
         t3.push_row([j.to_string(), fmt_f(mean), fmt_f(mean / tmix)]);
     }
     print!("{}", opts.render(&t3));

@@ -10,21 +10,27 @@
 //! fine:
 //!
 //! ```text
-//! cargo run -p dispersion-bench --release --bin grid2d -- [--trials 100] [--sizes 500]
+//! cargo run -p dispersion-bench --release --bin grid2d -- [--trials 100]
+//!     [--sizes 500] [--process seq|par|both]
 //! ```
 //!
 //! `--sizes` takes torus side lengths (`--sizes 500` is the 500×500
-//! torus, `n = 250 000`). Sides with `n > 20 000` automatically cap the
-//! trial count (the exact solver columns are the point at that scale) and
-//! skip the shape section.
+//! torus, `n = 250 000`); `--process par` restricts the simulated columns
+//! to Parallel-IDLA (the cheap way to drive one huge trial). Sides with
+//! `n > 20 000` automatically cap the trial count and skip the shape
+//! section.
+//!
+//! The shape section runs the classical Prop 5.10 object — a sequential
+//! fill with `k = n/2` particles — as one engine pass per trial with three
+//! composed observers (`AggregateShape` ball statistics, `DispersionTime`,
+//! `PhaseTimes`), so nothing is rerun and no trajectory is materialised.
 
 use dispersion_bench::Options;
-use dispersion_core::aggregate::shape_stats;
-use dispersion_core::occupancy::Occupancy;
+use dispersion_core::engine::observer::{AggregateShape, DispersionTime, PhaseTimes};
+use dispersion_core::engine::{self, schedule, EngineConfig, FirstVacant};
 use dispersion_core::process::ProcessConfig;
 use dispersion_graphs::generators::grid::{index_of, torus2d};
 use dispersion_graphs::traversal::diameter_bounds;
-use dispersion_graphs::walk::step;
 use dispersion_markov::hitting::hitting_times_to_set_with;
 use dispersion_markov::mixing::spectral_gap_with;
 use dispersion_markov::transition::WalkKind;
@@ -43,8 +49,32 @@ const LARGE_N: usize = 20_000;
 /// Sizes where even a pair of simulated fills dominates the run.
 const HUGE_N: usize = 100_000;
 
+/// Which simulated process columns to produce.
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Seq,
+    Par,
+    Both,
+}
+
+fn which_process(opts: &Options) -> Which {
+    let mut it = opts.positional.iter();
+    while let Some(a) = it.next() {
+        if a == "--process" {
+            return match it.next().map(String::as_str) {
+                Some("seq") => Which::Seq,
+                Some("par") => Which::Par,
+                Some("both") => Which::Both,
+                other => panic!("--process must be seq, par or both, got {other:?}"),
+            };
+        }
+    }
+    Which::Both
+}
+
 fn main() {
     let opts = Options::from_env();
+    let which = which_process(&opts);
     let sides = if opts.sizes.is_empty() {
         vec![12usize, 16, 24, 32, 48]
     } else {
@@ -103,37 +133,41 @@ fn main() {
             opts.trials
         };
         let s0 = opts.seed + 10 * k as u64;
-        let t0 = std::time::Instant::now();
-        let seq = Summary::from_samples(&dispersion_samples(
-            &g,
-            origin,
-            Process::Sequential,
-            &cfg,
-            trials,
-            opts.threads,
-            s0,
-        ));
-        stage("t_seq simulation", t0);
-        let t0 = std::time::Instant::now();
-        let par = Summary::from_samples(&dispersion_samples(
-            &g,
-            origin,
-            Process::Parallel,
-            &cfg,
-            trials,
-            opts.threads,
-            s0 + 1,
-        ));
-        stage("t_par simulation", t0);
+        let sample = |process: Process, seed: u64, label: &str| -> Option<Summary> {
+            let wanted = match process {
+                Process::Sequential => which != Which::Par,
+                _ => which != Which::Seq,
+            };
+            if !wanted {
+                return None;
+            }
+            let t0 = std::time::Instant::now();
+            let s = Summary::from_samples(&dispersion_samples(
+                &g,
+                origin,
+                process,
+                &cfg,
+                trials,
+                opts.threads,
+                seed,
+            ));
+            stage(label, t0);
+            Some(s)
+        };
+        let seq = sample(Process::Sequential, s0, "t_seq simulation");
+        let par = sample(Process::Parallel, s0 + 1, "t_par simulation");
         let nf = n as f64;
+        let opt_f = |s: &Option<Summary>| s.as_ref().map_or("-".into(), |s| fmt_f(s.mean));
+        let opt_norm =
+            |s: &Option<Summary>, d: f64| s.as_ref().map_or("-".into(), |s| fmt_f(s.mean / d));
         t.push_row([
             side.to_string(),
             n.to_string(),
             trials.to_string(),
-            fmt_f(seq.mean),
-            fmt_f(par.mean),
-            fmt_f(par.mean / (nf * nf.ln())),
-            fmt_f(par.mean / (nf * nf.ln() * nf.ln())),
+            opt_f(&seq),
+            opt_f(&par),
+            opt_norm(&par, nf * nf.ln()),
+            opt_norm(&par, nf * nf.ln() * nf.ln()),
             fmt_f(thit),
             fmt_f(thit / (nf * nf.ln())),
             format!("{gap:.3e}"), // gaps shrink like 1/side²; fmt_f would show 0
@@ -144,7 +178,9 @@ fn main() {
     println!(" the paper conjectures n log² n, matching the binary-tree mechanism;");
     println!(" t_hit is an exact CG solve; the lazy gap is a deflated-Lanczos estimate)\n");
 
-    // aggregate roundness at half fill: the Prop 5.10 mechanism
+    // aggregate roundness at half fill: the Prop 5.10 mechanism — the
+    // sequential fill with k = n/2 particles, exactly as before the engine
+    // refactor, now streamed by three composed observers in one pass
     let shape_sides: Vec<usize> = sides
         .iter()
         .copied()
@@ -152,45 +188,63 @@ fn main() {
         .collect();
     if shape_sides.len() < sides.len() {
         println!(
-            "## aggregate shape: skipping sides with n > {LARGE_N} (sequential fill is O(n²))"
+            "## aggregate shape: skipping sides with n > {LARGE_N} (a half fill is O(n²) steps)"
         );
     }
     if shape_sides.is_empty() {
         return;
     }
-    println!("## aggregate shape at half fill (Prop 5.10 mechanism: a ball of radius ~√(n/2π))");
-    let mut t2 = TextTable::new(["side", "inner r", "outer r", "fluct", "roundness", "ball r"]);
+    println!("## aggregate shape at half fill (Prop 5.10: a ball of radius ~√(n/2π)),");
+    println!("## sequential k = n/2 fill; t_fill and the half-fill clock share the pass");
+    let mut t2 = TextTable::new([
+        "side",
+        "inner r",
+        "outer r",
+        "fluct",
+        "roundness",
+        "ball r",
+        "t_fill",
+        "half t",
+    ]);
     for (k, &side) in shape_sides.iter().enumerate() {
         let g = torus2d(side);
         let n = g.n();
-        let origin = index_of(&[side / 2, side / 2], &[side, side]);
-        let stats: Vec<(f64, f64, f64, f64)> = par_trials(
+        let dims = [side, side];
+        let origin = index_of(&[side / 2, side / 2], &dims);
+        let particles = (n / 2).max(1);
+        let j_half = PhaseTimes::half_index(particles);
+        type ShapeRow = (f64, f64, f64, f64, f64, f64);
+        let stats: Vec<ShapeRow> = par_trials(
             opts.trials.min(40),
             opts.threads,
             opts.seed + 1000 + k as u64,
             |_, rng| {
-                let mut occ = Occupancy::new(n);
-                occ.settle(origin);
-                while occ.settled_count() < n / 2 {
-                    let mut pos = origin;
-                    loop {
-                        pos = step(&g, cfg.walk, pos, rng);
-                        if !occ.is_occupied(pos) {
-                            occ.settle(pos);
-                            break;
-                        }
-                    }
-                }
-                let s = shape_stats(&occ, origin, &[side, side]);
+                let mut shape = AggregateShape::at_counts(origin, &dims, &[particles]);
+                let mut time = DispersionTime::default();
+                // tick clock: per-particle steps are not a shared clock
+                // under the Sequential schedule
+                let mut phases = PhaseTimes::in_ticks(particles);
+                let ecfg = EngineConfig::with_particles(particles, origin, &cfg);
+                engine::run(
+                    &g,
+                    &mut schedule::Sequential::new(),
+                    &FirstVacant,
+                    &ecfg,
+                    &mut (&mut shape, &mut time, &mut phases),
+                    rng,
+                )
+                .unwrap_or_else(|e| panic!("{e}"));
+                let s = &shape.snapshots[0].1;
                 (
                     s.inner_radius,
                     s.outer_radius,
                     s.fluctuation(),
                     s.roundness(),
+                    time.max_steps as f64,
+                    phases.phases[j_half] as f64,
                 )
             },
         );
-        type ShapeRow = (f64, f64, f64, f64);
         let mean =
             |f: &dyn Fn(&ShapeRow) -> f64| stats.iter().map(f).sum::<f64>() / stats.len() as f64;
         let ball_r = ((n / 2) as f64 / std::f64::consts::PI).sqrt();
@@ -201,8 +255,12 @@ fn main() {
             fmt_f(mean(&|s| s.2)),
             fmt_f(mean(&|s| s.3)),
             fmt_f(ball_r),
+            fmt_f(mean(&|s| s.4)),
+            fmt_f(mean(&|s| s.5)),
         ]);
     }
     print!("{}", opts.render(&t2));
-    println!("\n(shape theorems: fluctuation = O(log r), roundness → 1)");
+    println!("\n(shape theorems: fluctuation = O(log r), roundness → 1; t_fill is the");
+    println!(" longest walk among the n/2 fill particles, 'half t' the total walk");
+    println!(" steps consumed when half of them had settled — one engine pass)");
 }

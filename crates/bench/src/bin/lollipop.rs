@@ -28,7 +28,9 @@ fn main() {
     for (k, &n) in sizes.iter().enumerate() {
         let (g, origin, _, _) = lollipop(n);
         let samples = par_samples(opts.trials, opts.threads, opts.seed + k as u64, |_, rng| {
-            run_sequential(&g, origin, &cfg, rng).dispersion_time as f64
+            run_sequential(&g, origin, &cfg, rng)
+                .unwrap()
+                .dispersion_time as f64
         });
         let s = Summary::from_samples(&samples);
         let nf = n as f64;

@@ -61,6 +61,7 @@ fn main() {
             "±95%",
             "t_par",
             "±95%",
+            "t_half",
             "par/seq",
             "seq/shape",
             "par/shape",
@@ -73,6 +74,7 @@ fn main() {
                 fmt_f(1.96 * p.seq.sem),
                 fmt_f(p.par.mean),
                 fmt_f(1.96 * p.par.sem),
+                fmt_f(p.half.mean),
                 fmt_f(p.par.mean / p.seq.mean),
                 fmt_f(p.seq.mean / s),
                 fmt_f(p.par.mean / s),

@@ -1,8 +1,15 @@
 //! Size sweeps of dispersion times over the Table 1 graph families.
+//!
+//! The parallel column is measured through the engine with a
+//! [`PhaseTimes`] observer attached, so every sweep point also carries the
+//! Theorem 3.3 half-milestone (rounds until at most `n/2` particles remain)
+//! at no extra simulation cost.
 
+use dispersion_core::engine::observer::PhaseTimes;
 use dispersion_core::process::ProcessConfig;
 use dispersion_graphs::families::Family;
 use dispersion_sim::experiment::{dispersion_samples, Process};
+use dispersion_sim::parallel::par_trials;
 use dispersion_sim::rng::Xoshiro256pp;
 use dispersion_sim::stats::Summary;
 
@@ -15,10 +22,13 @@ pub struct SweepPoint {
     pub seq: Summary,
     /// Parallel dispersion-time summary.
     pub par: Summary,
+    /// Theorem 3.3 half-milestone summary: rounds until at most `n/2`
+    /// particles remain unsettled (from the same runs as `par`).
+    pub half: Summary,
 }
 
-/// Sweeps a family over `sizes`, measuring `t_seq` and `t_par` with
-/// `trials` runs each.
+/// Sweeps a family over `sizes`, measuring `t_seq`, `t_par` and the
+/// half-milestone with `trials` runs each.
 pub fn family_sweep(
     family: Family,
     sizes: &[usize],
@@ -43,16 +53,27 @@ pub fn family_sweep(
                 threads,
                 seed.wrapping_add(2 * k as u64 + 1),
             ));
-            let par = Summary::from_samples(&dispersion_samples(
-                &inst.graph,
-                inst.origin,
-                Process::Parallel,
-                &cfg,
+            // one engine pass per trial yields dispersion time AND phases
+            let j_half = PhaseTimes::half_index(n);
+            let pairs: Vec<(f64, f64)> = par_trials(
                 trials,
                 threads,
                 seed.wrapping_add(2 * k as u64 + 2),
-            ));
-            SweepPoint { n, seq, par }
+                |_, rng| {
+                    let mut phases = PhaseTimes::for_particles(n);
+                    let out = Process::Parallel
+                        .run_observed(&inst.graph, inst.origin, &cfg, &mut phases, rng)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    (out.dispersion_time() as f64, phases.phases[j_half] as f64)
+                },
+            );
+            let (par_s, half_s): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            SweepPoint {
+                n,
+                seq,
+                par: Summary::from_samples(&par_s),
+                half: Summary::from_samples(&half_s),
+            }
         })
         .collect()
 }
@@ -83,9 +104,11 @@ mod tests {
         // dispersion grows with n
         assert!(pts[1].seq.mean > pts[0].seq.mean);
         assert!(pts[1].par.mean > pts[0].par.mean);
-        // Theorem 4.1 ordering in the mean
+        // Theorem 4.1 ordering in the mean, and the half-milestone cannot
+        // exceed the full dispersion time
         for p in &pts {
             assert!(p.par.mean >= 0.9 * p.seq.mean);
+            assert!(p.half.mean <= p.par.mean);
         }
     }
 
@@ -104,5 +127,6 @@ mod tests {
         let b = family_sweep(Family::Cycle, &[16], 30, 4, 9);
         assert_eq!(a[0].seq.mean, b[0].seq.mean);
         assert_eq!(a[0].par.mean, b[0].par.mean);
+        assert_eq!(a[0].half.mean, b[0].half.mean);
     }
 }

@@ -1,0 +1,68 @@
+//! Settle rules: when a particle standing on a vacant vertex settles.
+//!
+//! The paper's generalized dispersion processes (Appendix A) only require
+//! that a particle jumping to a vacant vertex **may** settle; Proposition
+//! A.1 shows there is no "least action principle" — skipping vacant
+//! vertices can make the dispersion time smaller. The engine threads a
+//! [`SettleRule`] through every schedule, so every scheduler variant
+//! supports generalized stopping for free.
+
+use dispersion_graphs::Vertex;
+
+/// When a particle standing on a vacant vertex settles.
+pub trait SettleRule {
+    /// `walk_steps` is the particle's own step count, `at` the vacant vertex
+    /// it stands on. Invoked only on vacant vertices.
+    fn should_settle(&self, walk_steps: u64, at: Vertex) -> bool;
+}
+
+/// The standard IDLA rule: settle on the first vacant vertex.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstVacant;
+
+impl SettleRule for FirstVacant {
+    #[inline]
+    fn should_settle(&self, _walk_steps: u64, _at: Vertex) -> bool {
+        true
+    }
+}
+
+/// The Proposition A.1 rule `ρ̃`: before `threshold` steps, settle only on
+/// the designated `special` vertex (the hair tip `v*`); afterwards settle on
+/// any vacant vertex.
+#[derive(Clone, Copy, Debug)]
+pub struct DelayedExcept {
+    /// Step threshold (`3 n log n` in the paper).
+    pub threshold: u64,
+    /// The always-settleable vertex (`v*`).
+    pub special: Vertex,
+}
+
+impl SettleRule for DelayedExcept {
+    #[inline]
+    fn should_settle(&self, walk_steps: u64, at: Vertex) -> bool {
+        walk_steps >= self.threshold || at == self.special
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_vacant_always_settles() {
+        assert!(FirstVacant.should_settle(0, 0));
+        assert!(FirstVacant.should_settle(u64::MAX, 9));
+    }
+
+    #[test]
+    fn delayed_except_gates_on_threshold_and_vertex() {
+        let r = DelayedExcept {
+            threshold: 10,
+            special: 3,
+        };
+        assert!(!r.should_settle(9, 0));
+        assert!(r.should_settle(9, 3));
+        assert!(r.should_settle(10, 0));
+    }
+}

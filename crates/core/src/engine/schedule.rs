@@ -1,0 +1,281 @@
+//! The [`Schedule`] trait — *who moves this tick* — and the scheduler state
+//! machines of the paper's process variants.
+//!
+//! A schedule never touches the particle arrays itself: it reads the
+//! engine's [`EngineView`] and emits [`Event`]s; the
+//! engine performs the walk step, occupancy update and observer dispatch.
+//! This is what makes the five historical `process/*.rs` loops collapse
+//! into one: the only thing that ever differed between them is the order
+//! in which particles are granted moves.
+
+use super::EngineView;
+use rand::{Rng, RngExt};
+
+/// One scheduling decision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Event {
+    /// The particle `pid` performs one walk step; real (clock) time advances
+    /// by `dt` (0 for discrete-time schedules).
+    Step {
+        /// Particle index granted the move.
+        pid: usize,
+        /// Real-time advance accompanying the move (CTU exponential delay).
+        dt: f64,
+    },
+    /// A tick is consumed but nobody moves (the Uniform schedule drew an
+    /// already-settled particle).
+    Noop {
+        /// The settled particle the schedule drew.
+        pid: usize,
+    },
+    /// Round boundary (Parallel schedule): the engine compacts settled
+    /// particles out of the active list and notifies observers.
+    NewRound,
+}
+
+/// How settled particles leave the engine's active list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Removal {
+    /// Swap-remove at settle time (O(1); scrambles order — fine for
+    /// schedules that draw uniformly).
+    Immediate,
+    /// Leave in place until the next [`Event::NewRound`] compaction
+    /// (preserves ascending order for the Parallel tie-breaking scan).
+    AtRoundEnd,
+}
+
+/// Whether particles are placed at their origins up front or on first move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpawnMode {
+    /// All particles placed before the first tick (Parallel/Uniform/CTU:
+    /// everyone exists from time 0).
+    Eager,
+    /// A particle is placed when the schedule first selects it (Sequential:
+    /// particle `i+1` enters only after particle `i` settled — required for
+    /// random-origin runs, where the origin draw must see the up-to-date
+    /// occupancy).
+    Lazy,
+}
+
+/// A scheduler: decides who moves at every tick of a dispersion run.
+pub trait Schedule {
+    /// Short name used in error messages and throughput tables.
+    fn label(&self) -> &'static str;
+
+    /// Validates the schedule against the run's particle count, called
+    /// once before the first tick. Schedules with internal sizing (e.g.
+    /// [`Uniform`]) panic here with a configuration message instead of
+    /// failing later with an opaque index error.
+    fn check_particles(&self, particles: usize) {
+        let _ = particles;
+    }
+
+    /// The next event. Called only while unsettled particles remain.
+    fn next<R: Rng + ?Sized>(&mut self, view: &EngineView<'_>, rng: &mut R) -> Event;
+
+    /// Active-list removal policy (default: swap-remove on settle).
+    fn removal(&self) -> Removal {
+        Removal::Immediate
+    }
+
+    /// Spawn policy (default: everyone placed up front).
+    fn spawn_mode(&self) -> SpawnMode {
+        SpawnMode::Eager
+    }
+}
+
+/// Sequential-IDLA: the lowest-index unsettled particle moves every tick;
+/// particle `i+1` starts only after particle `i` has settled.
+#[derive(Clone, Debug, Default)]
+pub struct Sequential {
+    current: usize,
+}
+
+impl Sequential {
+    /// Fresh schedule starting from particle 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Schedule for Sequential {
+    fn label(&self) -> &'static str {
+        "sequential"
+    }
+
+    #[inline]
+    fn next<R: Rng + ?Sized>(&mut self, view: &EngineView<'_>, _rng: &mut R) -> Event {
+        while self.current < view.settled.len() && view.settled[self.current] {
+            self.current += 1;
+        }
+        Event::Step {
+            pid: self.current,
+            dt: 0.0,
+        }
+    }
+
+    fn spawn_mode(&self) -> SpawnMode {
+        SpawnMode::Lazy
+    }
+}
+
+/// Parallel-IDLA: every unsettled particle moves once per round, scanned in
+/// ascending index order so that simultaneous arrivals at a vacant vertex
+/// settle the smallest index (Section 1 / property (4)).
+#[derive(Clone, Debug, Default)]
+pub struct Parallel {
+    cursor: usize,
+}
+
+impl Parallel {
+    /// Fresh schedule at the start of round 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Schedule for Parallel {
+    fn label(&self) -> &'static str {
+        "parallel"
+    }
+
+    #[inline]
+    fn next<R: Rng + ?Sized>(&mut self, view: &EngineView<'_>, _rng: &mut R) -> Event {
+        if self.cursor >= view.active.len() {
+            self.cursor = 0;
+            return Event::NewRound;
+        }
+        let pid = view.active[self.cursor];
+        self.cursor += 1;
+        Event::Step { pid, dt: 0.0 }
+    }
+
+    fn removal(&self) -> Removal {
+        Removal::AtRoundEnd
+    }
+}
+
+/// Uniform-IDLA (Section 4.2): each tick draws a particle uniformly from
+/// *all* of `{1, …, n−1}`; drawing a settled particle is a no-op tick.
+#[derive(Clone, Debug)]
+pub struct Uniform {
+    n: usize,
+}
+
+impl Uniform {
+    /// Schedule over `n` particles (`R_t` draws from `1..n`; particle 0
+    /// holds the origin).
+    pub fn new(n: usize) -> Self {
+        Uniform { n }
+    }
+}
+
+impl Schedule for Uniform {
+    fn label(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn check_particles(&self, particles: usize) {
+        assert_eq!(
+            self.n, particles,
+            "Uniform schedule draws over {} particles but the run has {particles}",
+            self.n
+        );
+    }
+
+    #[inline]
+    fn next<R: Rng + ?Sized>(&mut self, view: &EngineView<'_>, rng: &mut R) -> Event {
+        let pid = if self.n > 1 {
+            rng.random_range(1..self.n)
+        } else {
+            0
+        };
+        if view.settled[pid] {
+            Event::Noop { pid }
+        } else {
+            Event::Step { pid, dt: 0.0 }
+        }
+    }
+}
+
+/// Continuous-time Uniform IDLA (Section 4.3): every unsettled particle
+/// carries a rate-1 exponential clock; by superposition the next ring
+/// arrives after an `Exp(k)` delay and belongs to a uniform unsettled
+/// particle.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ctu;
+
+impl Ctu {
+    /// Fresh CTU schedule.
+    pub fn new() -> Self {
+        Ctu
+    }
+}
+
+impl Schedule for Ctu {
+    fn label(&self) -> &'static str {
+        "ctu"
+    }
+
+    #[inline]
+    fn next<R: Rng + ?Sized>(&mut self, view: &EngineView<'_>, rng: &mut R) -> Event {
+        let k = view.active.len();
+        let dt = sample_exponential(k as f64, rng);
+        let slot = rng.random_range(0..k);
+        Event::Step {
+            pid: view.active[slot],
+            dt,
+        }
+    }
+}
+
+/// Samples `Exp(rate)`.
+#[inline]
+pub fn sample_exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = rng.random::<f64>();
+    // map u in [0,1) to (0,1] to avoid ln(0)
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn policies_match_paper_semantics() {
+        assert_eq!(Sequential::new().spawn_mode(), SpawnMode::Lazy);
+        assert_eq!(Sequential::new().removal(), Removal::Immediate);
+        assert_eq!(Parallel::new().removal(), Removal::AtRoundEnd);
+        assert_eq!(Parallel::new().spawn_mode(), SpawnMode::Eager);
+        assert_eq!(Uniform::new(4).removal(), Removal::Immediate);
+        assert_eq!(Ctu::new().removal(), Removal::Immediate);
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let labels = [
+            Sequential::new().label(),
+            Parallel::new().label(),
+            Uniform::new(2).label(),
+            Ctu::new().label(),
+        ];
+        let mut dedup = labels.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 20_000;
+        let mean: f64 = (0..trials)
+            .map(|_| sample_exponential(2.0, &mut rng))
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

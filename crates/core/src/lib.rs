@@ -7,7 +7,15 @@
 //! `n` particles start at an origin vertex of a connected `n`-vertex graph;
 //! each performs a random walk until it first steps on a vacant vertex,
 //! where it settles. The **dispersion time** is the maximum number of steps
-//! any particle performs. Scheduling variants:
+//! any particle performs.
+//!
+//! Every scheduling variant runs through one schedule-generic [`engine`]: a
+//! [`engine::Schedule`] decides *who moves this tick*, a
+//! [`engine::SettleRule`] decides *whether a particle settles* (Appendix A
+//! generalized stopping), and composable [`engine::Observer`]s stream
+//! statistics (dispersion times, realization blocks, aggregate shapes,
+//! Theorem 3.3/3.5 phase boundaries) out of the run without materialising
+//! per-step state. The historical entry points are thin wrappers:
 //!
 //! * [`process::sequential::run_sequential`] — one particle at a time,
 //! * [`process::parallel::run_parallel`] — all unsettled particles step each
@@ -15,9 +23,12 @@
 //! * [`process::uniform::run_uniform`] — a random unsettled particle per tick,
 //! * [`process::continuous::run_ctu`] — rate-1 exponential clocks (CTU-IDLA),
 //! * [`process::continuous::run_continuous_sequential`] — Poisson jump times,
+//! * [`process::partial`] — `k < n` particles, random origins, milestones,
 //! * [`process::stopping`] — generalized settle rules (Proposition A.1),
 //!
-//! all in simple or lazy ([`ProcessConfig`]) walk flavours.
+//! all in simple or lazy ([`ProcessConfig`]) walk flavours, returning
+//! `Result` with [`engine::EngineError::StepCapExceeded`] instead of
+//! panicking when the safety cap fires.
 //!
 //! The [`block`] module implements the realization blocks of Section 4 and
 //! the `CP`/`StP`/`PtS`/`PtU_R` transforms whose bijectivity yields
@@ -30,7 +41,7 @@
 //!
 //! let g = complete(16);
 //! let mut rng = StdRng::seed_from_u64(7);
-//! let out = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng);
+//! let out = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
 //! assert_eq!(out.n(), 16);
 //! assert!(out.dispersion_time >= 1);
 //! ```
@@ -40,11 +51,13 @@
 
 pub mod aggregate;
 pub mod block;
+pub mod engine;
 pub mod occupancy;
 pub mod outcome;
 pub mod process;
 
 pub use block::Block;
+pub use engine::{EngineError, EngineOutcome, Observer};
 pub use occupancy::Occupancy;
 pub use outcome::DispersionOutcome;
 pub use process::ProcessConfig;

@@ -11,14 +11,19 @@
 //!
 //! Theorem 4.8: `τ_c-unif = τ_par (1 + o(1))`; the clique constants of
 //! Theorem 5.2 are proved through exactly this equivalence.
+//!
+//! The walk/settle loop lives in [`crate::engine`]; this module is the
+//! schedule-specific entry point kept for API compatibility.
 
-use crate::occupancy::Occupancy;
+use crate::engine::schedule::Ctu;
+use crate::engine::{self, EngineConfig, EngineError, FirstVacant};
 use crate::outcome::DispersionOutcome;
 use crate::process::sequential::run_sequential;
 use crate::process::ProcessConfig;
-use dispersion_graphs::walk::step;
 use dispersion_graphs::{Graph, Vertex};
 use rand::{Rng, RngExt};
+
+pub use crate::engine::schedule::sample_exponential;
 
 /// Outcome of a continuous-time run.
 #[derive(Clone, Debug)]
@@ -27,15 +32,6 @@ pub struct ContinuousOutcome {
     pub outcome: DispersionOutcome,
     /// Real (clock) time at which the last particle settled.
     pub settle_time: f64,
-}
-
-/// Samples `Exp(rate)`.
-#[inline]
-pub fn sample_exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
-    debug_assert!(rate > 0.0);
-    let u: f64 = rng.random::<f64>();
-    // map u in [0,1) to (0,1] to avoid ln(0)
-    -(1.0 - u).ln() / rate
 }
 
 /// Samples `Gamma(shape, 1)` for integer `shape ≥ 0` (sum of exponentials
@@ -69,71 +65,52 @@ pub fn sample_gamma_int<R: Rng + ?Sized>(shape: u64, rng: &mut R) -> f64 {
 
 /// Runs one continuous-time Uniform-IDLA (CTU-IDLA) realization.
 ///
+/// # Errors
+///
+/// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires.
+///
 /// # Panics
 ///
-/// Panics if the step cap fires or `origin` is out of range.
+/// Panics if `origin` is out of range.
 pub fn run_ctu<R: Rng + ?Sized>(
     g: &Graph,
     origin: Vertex,
     cfg: &ProcessConfig,
     rng: &mut R,
-) -> ContinuousOutcome {
-    let n = g.n();
-    assert!((origin as usize) < n, "origin {origin} out of range");
-    let mut occ = Occupancy::new(n);
-    let mut positions: Vec<Vertex> = vec![origin; n];
-    let mut steps = vec![0u64; n];
-    let mut settled_at: Vec<Vertex> = vec![origin; n];
-    occ.settle(origin);
-
-    // indices of unsettled particles; swap-remove keeps selection O(1)
-    let mut active: Vec<usize> = (1..n).collect();
-    let mut time = 0.0f64;
-    let mut total: u64 = 0;
-    while !active.is_empty() {
-        let k = active.len() as f64;
-        time += sample_exponential(k, rng);
-        let slot = rng.random_range(0..active.len());
-        let i = active[slot];
-        let pos = step(g, cfg.walk, positions[i], rng);
-        positions[i] = pos;
-        steps[i] += 1;
-        total += 1;
-        assert!(total <= cfg.step_cap, "CTU run exceeded step cap");
-        if !occ.is_occupied(pos) {
-            occ.settle(pos);
-            settled_at[i] = pos;
-            active.swap_remove(slot);
-        }
-    }
-    debug_assert!(occ.is_full());
-    let outcome = DispersionOutcome::new(origin, steps, settled_at, None);
-    ContinuousOutcome {
+) -> Result<ContinuousOutcome, EngineError> {
+    let ecfg = EngineConfig::full(g, origin, cfg);
+    let out = engine::run(g, &mut Ctu::new(), &FirstVacant, &ecfg, &mut (), rng)?;
+    let outcome = DispersionOutcome::new(origin, out.steps, out.settled_at, None);
+    Ok(ContinuousOutcome {
         outcome,
-        settle_time: time,
-    }
+        settle_time: out.time,
+    })
 }
 
 /// Runs one continuous-time Sequential-IDLA realization: a discrete
 /// sequential run whose per-particle settle time is `Gamma(ρ_i, 1)` on the
 /// particle's own unit-rate Poisson clock; the dispersion time is the
 /// maximum over particles.
+///
+/// # Errors
+///
+/// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires.
 pub fn run_continuous_sequential<R: Rng + ?Sized>(
     g: &Graph,
     origin: Vertex,
     cfg: &ProcessConfig,
     rng: &mut R,
-) -> ContinuousOutcome {
-    let outcome = run_sequential(g, origin, cfg, rng);
+) -> Result<ContinuousOutcome, EngineError> {
+    let outcome = run_sequential(g, origin, cfg, rng)?;
     let settle_time = outcome
         .steps
         .iter()
         .map(|&rho| sample_gamma_int(rho, rng))
         .fold(0.0, f64::max);
-    ContinuousOutcome {
+    Ok(ContinuousOutcome {
         outcome,
         settle_time,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -182,7 +159,7 @@ mod tests {
     fn ctu_covers_every_vertex() {
         let g = cycle(9);
         let mut rng = StdRng::seed_from_u64(3);
-        let o = run_ctu(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let o = run_ctu(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         let mut settled = o.outcome.settled_at.clone();
         settled.sort_unstable();
         assert_eq!(settled, (0..9).collect::<Vec<_>>());
@@ -197,7 +174,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let trials = 400;
         let mean: f64 = (0..trials)
-            .map(|_| run_ctu(&g, 0, &ProcessConfig::simple(), &mut rng).settle_time)
+            .map(|_| {
+                run_ctu(&g, 0, &ProcessConfig::simple(), &mut rng)
+                    .unwrap()
+                    .settle_time
+            })
             .sum::<f64>()
             / trials as f64;
         let expect: f64 = (1..n).map(|k| (n as f64 - 1.0) / (k * k) as f64).sum();
@@ -216,8 +197,12 @@ mod tests {
         let mut ctu = 0.0;
         let mut par = 0.0;
         for _ in 0..trials {
-            ctu += run_ctu(&g, 0, &ProcessConfig::simple(), &mut rng).settle_time;
-            par += run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng).dispersion_time as f64;
+            ctu += run_ctu(&g, 0, &ProcessConfig::simple(), &mut rng)
+                .unwrap()
+                .settle_time;
+            par += run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng)
+                .unwrap()
+                .dispersion_time as f64;
         }
         let ratio = ctu / par;
         assert!((0.7..1.4).contains(&ratio), "ctu/par = {ratio}");
@@ -229,7 +214,7 @@ mod tests {
         // for long walks.
         let g = cycle(32);
         let mut rng = StdRng::seed_from_u64(6);
-        let o = run_continuous_sequential(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let o = run_continuous_sequential(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         let ratio = o.settle_time / o.outcome.dispersion_time as f64;
         assert!((0.5..1.5).contains(&ratio), "ratio {ratio}");
     }

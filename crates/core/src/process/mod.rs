@@ -1,5 +1,9 @@
-//! The dispersion-process simulators: Sequential-, Parallel-, Uniform- and
-//! continuous-time IDLA, plus the generalized stopping-rule engine.
+//! The dispersion-process entry points: Sequential-, Parallel-, Uniform- and
+//! continuous-time IDLA, plus the generalized stopping rules and §6.2
+//! extensions — all thin wrappers over the schedule-generic
+//! [`crate::engine`]. Call the engine directly to compose
+//! [`crate::engine::Observer`]s (dispersion time + aggregate shape + phase
+//! boundaries in one pass).
 
 pub mod continuous;
 pub mod parallel;
@@ -17,9 +21,13 @@ pub struct ProcessConfig {
     pub walk: WalkKind,
     /// Whether to record full trajectories (needed for the Cut & Paste
     /// machinery; costs memory proportional to the total number of steps).
+    /// Implemented by attaching a
+    /// [`crate::engine::observer::TrajectoryBlock`] observer; runs that
+    /// don't record stream statistics instead of materialising state.
     pub record_trajectories: bool,
-    /// Safety cap on the *total* number of steps across all particles; a run
-    /// exceeding it panics (catches schedulers that cannot terminate).
+    /// Safety cap on the *total* number of ticks across all particles; a run
+    /// exceeding it returns [`crate::engine::EngineError::StepCapExceeded`]
+    /// (catches schedulers that cannot terminate).
     pub step_cap: u64,
 }
 

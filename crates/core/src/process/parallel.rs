@@ -6,12 +6,15 @@
 //! order, the first occurrence of a vertex ends its row — which is exactly
 //! what scanning particles in index order within a round and settling
 //! immediately implements.
+//!
+//! The walk/settle loop lives in [`crate::engine`]; this module is the
+//! schedule-specific entry point kept for API compatibility.
 
-use crate::block::Block;
-use crate::occupancy::Occupancy;
+use crate::engine::observer::TrajectoryBlock;
+use crate::engine::schedule::Parallel;
+use crate::engine::{self, EngineConfig, EngineError, FirstVacant};
 use crate::outcome::DispersionOutcome;
 use crate::process::ProcessConfig;
-use dispersion_graphs::walk::step;
 use dispersion_graphs::{Graph, Vertex};
 use rand::Rng;
 
@@ -21,55 +24,28 @@ use rand::Rng;
 /// the number of rounds until the last particle settles (every unsettled
 /// particle moves every round).
 ///
+/// # Errors
+///
+/// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires.
+///
 /// # Panics
 ///
-/// Panics if the step cap fires or `origin` is out of range.
+/// Panics if `origin` is out of range.
 pub fn run_parallel<R: Rng + ?Sized>(
     g: &Graph,
     origin: Vertex,
     cfg: &ProcessConfig,
     rng: &mut R,
-) -> DispersionOutcome {
-    let n = g.n();
-    assert!((origin as usize) < n, "origin {origin} out of range");
-    let mut occ = Occupancy::new(n);
-    let mut positions: Vec<Vertex> = vec![origin; n];
-    let mut settled = vec![false; n];
-    let mut steps = vec![0u64; n];
-    let mut settled_at: Vec<Vertex> = vec![origin; n];
-    let mut rows: Option<Vec<Vec<Vertex>>> = cfg.record_trajectories.then(|| vec![vec![origin]; n]);
-
-    // particle 0 settles at the origin at time 0
-    occ.settle(origin);
-    settled[0] = true;
-    // an index list of unsettled particles, kept in ascending order so the
-    // within-round scan implements smallest-index tie-breaking
-    let mut active: Vec<usize> = (1..n).collect();
-
-    let mut total: u64 = 0;
-    while !active.is_empty() {
-        let mut still_active = Vec::with_capacity(active.len());
-        for &i in &active {
-            let pos = step(g, cfg.walk, positions[i], rng);
-            positions[i] = pos;
-            steps[i] += 1;
-            total += 1;
-            assert!(total <= cfg.step_cap, "parallel run exceeded step cap");
-            if let Some(rows) = rows.as_mut() {
-                rows[i].push(pos);
-            }
-            if !occ.is_occupied(pos) {
-                occ.settle(pos);
-                settled[i] = true;
-                settled_at[i] = pos;
-            } else {
-                still_active.push(i);
-            }
-        }
-        active = still_active;
-    }
-    debug_assert!(occ.is_full());
-    DispersionOutcome::new(origin, steps, settled_at, rows.map(Block::from_rows))
+) -> Result<DispersionOutcome, EngineError> {
+    let ecfg = EngineConfig::full(g, origin, cfg);
+    let mut traj = cfg.record_trajectories.then(TrajectoryBlock::new);
+    let out = engine::run(g, &mut Parallel::new(), &FirstVacant, &ecfg, &mut traj, rng)?;
+    Ok(DispersionOutcome::new(
+        origin,
+        out.steps,
+        out.settled_at,
+        traj.map(TrajectoryBlock::into_block),
+    ))
 }
 
 #[cfg(test)]
@@ -85,7 +61,7 @@ mod tests {
     fn covers_every_vertex_exactly_once() {
         let g = cycle(11);
         let mut rng = StdRng::seed_from_u64(1);
-        let o = run_parallel(&g, 5, &ProcessConfig::simple(), &mut rng);
+        let o = run_parallel(&g, 5, &ProcessConfig::simple(), &mut rng).unwrap();
         let mut settled = o.settled_at.clone();
         settled.sort_unstable();
         assert_eq!(settled, (0..11).collect::<Vec<_>>());
@@ -96,7 +72,7 @@ mod tests {
     fn recorded_block_is_valid_parallel() {
         let g = complete(9);
         let mut rng = StdRng::seed_from_u64(2);
-        let o = run_parallel(&g, 0, &ProcessConfig::simple().recording(), &mut rng);
+        let o = run_parallel(&g, 0, &ProcessConfig::simple().recording(), &mut rng).unwrap();
         let b = o.block.as_ref().unwrap();
         assert!(is_parallel_block(b));
         assert!(rows_are_walks(b, &g, false));
@@ -106,12 +82,10 @@ mod tests {
     #[test]
     fn round_structure() {
         // Unsettled particles move every round, so a particle's step count
-        // equals the round it settled in; step counts of settled particles
-        // are <= dispersion time, and at least one particle settles per
-        // completed... (not necessarily, but rounds are shared):
+        // equals the round it settled in.
         let g = complete(12);
         let mut rng = StdRng::seed_from_u64(3);
-        let o = run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let o = run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         // particle 1 moves first each round; it settles in round 1 since the
         // first move in round 1 always finds a vacant vertex
         assert_eq!(o.steps[1], 1);
@@ -123,7 +97,7 @@ mod tests {
         // land on leaves; particle 1 reads first in round 1 and must settle.
         let g = star(6);
         let mut rng = StdRng::seed_from_u64(4);
-        let o = run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let o = run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         assert_eq!(o.steps[1], 1);
         // steps on the star are odd for everyone (leaf-centre oscillation
         // has period 2 and settling happens on leaves)
@@ -142,8 +116,12 @@ mod tests {
         let mut seq_total = 0u64;
         let mut par_total = 0u64;
         for _ in 0..trials {
-            seq_total += run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng).dispersion_time;
-            par_total += run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng).dispersion_time;
+            seq_total += run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng)
+                .unwrap()
+                .dispersion_time;
+            par_total += run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng)
+                .unwrap()
+                .dispersion_time;
         }
         let seq_mean = seq_total as f64 / trials as f64;
         let par_mean = par_total as f64 / trials as f64;
@@ -157,7 +135,7 @@ mod tests {
     fn path_parallel_settles_left_to_right() {
         let g = path(7);
         let mut rng = StdRng::seed_from_u64(6);
-        let o = run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let o = run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         // from endpoint 0 the aggregate is always a prefix, so particle
         // settle vertices, sorted by settle round, are increasing
         let mut order: Vec<usize> = (0..7).collect();
@@ -182,7 +160,9 @@ mod tests {
         let trials = 300;
         let mut total = 0u64;
         for _ in 0..trials {
-            total += run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng).total_steps;
+            total += run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng)
+                .unwrap()
+                .total_steps;
         }
         let mean = total as f64 / trials as f64;
         let hn: f64 = (1..n).map(|k| 1.0 / k as f64).sum();

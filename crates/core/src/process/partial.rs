@@ -6,14 +6,19 @@
 //! * **Random origins** — every particle starts at an independent uniform
 //!   vertex instead of a common origin.
 //! * **Milestones** — the `τ_par(G, k)` quantities of Theorem 3.3: the
-//!   first round at which fewer than `2^k − 1` vertices remain unsettled.
+//!   first round at which fewer than `2^k − 1` vertices remain unsettled,
+//!   streamed by the [`PhaseTimes`] observer.
+//!
+//! The walk/settle loop lives in [`crate::engine`]; these entry points are
+//! engine configurations kept for API compatibility.
 
-use crate::occupancy::Occupancy;
+use crate::engine::observer::PhaseTimes;
+use crate::engine::schedule::{Parallel, Sequential};
+use crate::engine::{self, EngineConfig, EngineError, FirstVacant};
 use crate::outcome::DispersionOutcome;
 use crate::process::ProcessConfig;
-use dispersion_graphs::walk::step;
 use dispersion_graphs::{Graph, Vertex};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Sequential-IDLA with `k ≤ n` particles from a common origin. The first
 /// particle settles at the origin; the rest walk to vacancy as usual.
@@ -21,174 +26,93 @@ use rand::{Rng, RngExt};
 /// Returns an outcome with `k` entries; `settled_at` lists the aggregate
 /// `A(k)` in settle order.
 ///
+/// # Errors
+///
+/// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires.
+///
 /// # Panics
 ///
-/// Panics if `k == 0` or `k > n` or the step cap fires.
+/// Panics if `k == 0` or `k > n`.
 pub fn run_sequential_k<R: Rng + ?Sized>(
     g: &Graph,
     origin: Vertex,
     k: usize,
     cfg: &ProcessConfig,
     rng: &mut R,
-) -> DispersionOutcome {
-    let n = g.n();
-    assert!(k >= 1 && k <= n, "particle count {k} out of range 1..={n}");
-    assert!((origin as usize) < n);
-    let mut occ = Occupancy::new(n);
-    let mut steps = Vec::with_capacity(k);
-    let mut settled_at = Vec::with_capacity(k);
-    occ.settle(origin);
-    steps.push(0);
-    settled_at.push(origin);
-    let mut total = 0u64;
-    for _ in 1..k {
-        let mut pos = origin;
-        let mut walked = 0u64;
-        loop {
-            pos = step(g, cfg.walk, pos, rng);
-            walked += 1;
-            total += 1;
-            assert!(total <= cfg.step_cap, "sequential-k exceeded step cap");
-            if !occ.is_occupied(pos) {
-                occ.settle(pos);
-                break;
-            }
-        }
-        steps.push(walked);
-        settled_at.push(pos);
-    }
-    partial_outcome(origin, steps, settled_at)
+) -> Result<DispersionOutcome, EngineError> {
+    let ecfg = EngineConfig::with_particles(k, origin, cfg);
+    let out = engine::run(g, &mut Sequential::new(), &FirstVacant, &ecfg, &mut (), rng)?;
+    Ok(partial_outcome(origin, out.steps, out.settled_at))
 }
 
 /// Parallel-IDLA with `k ≤ n` particles from a common origin.
+///
+/// # Errors
+///
+/// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires.
 pub fn run_parallel_k<R: Rng + ?Sized>(
     g: &Graph,
     origin: Vertex,
     k: usize,
     cfg: &ProcessConfig,
     rng: &mut R,
-) -> DispersionOutcome {
-    let n = g.n();
-    assert!(k >= 1 && k <= n, "particle count {k} out of range 1..={n}");
-    assert!((origin as usize) < n);
-    let mut occ = Occupancy::new(n);
-    let mut positions = vec![origin; k];
-    let mut steps = vec![0u64; k];
-    let mut settled_at = vec![origin; k];
-    occ.settle(origin);
-    let mut active: Vec<usize> = (1..k).collect();
-    let mut total = 0u64;
-    while !active.is_empty() {
-        let mut still = Vec::with_capacity(active.len());
-        for &i in &active {
-            let pos = step(g, cfg.walk, positions[i], rng);
-            positions[i] = pos;
-            steps[i] += 1;
-            total += 1;
-            assert!(total <= cfg.step_cap, "parallel-k exceeded step cap");
-            if !occ.is_occupied(pos) {
-                occ.settle(pos);
-                settled_at[i] = pos;
-            } else {
-                still.push(i);
-            }
-        }
-        active = still;
-    }
-    partial_outcome(origin, steps, settled_at)
+) -> Result<DispersionOutcome, EngineError> {
+    let ecfg = EngineConfig::with_particles(k, origin, cfg);
+    let out = engine::run(g, &mut Parallel::new(), &FirstVacant, &ecfg, &mut (), rng)?;
+    Ok(partial_outcome(origin, out.steps, out.settled_at))
 }
 
 /// Parallel-IDLA (all `n` particles) with the Theorem 3.3 milestones:
 /// `milestones[j]` is the first round at which at most `2^j − 1` vertices
 /// remain unsettled (`j = 0` is the full dispersion time).
+///
+/// # Errors
+///
+/// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires.
 pub fn run_parallel_milestones<R: Rng + ?Sized>(
     g: &Graph,
     origin: Vertex,
     cfg: &ProcessConfig,
     rng: &mut R,
-) -> (DispersionOutcome, Vec<u64>) {
-    let n = g.n();
-    assert!((origin as usize) < n);
-    let jmax = (n as f64).log2().ceil() as usize + 1;
-    let mut milestones = vec![u64::MAX; jmax];
-    let record = |milestones: &mut [u64], unsettled: usize, round: u64| {
-        for (j, slot) in milestones.iter_mut().enumerate() {
-            if unsettled < (1usize << j) && *slot == u64::MAX {
-                *slot = round;
-            }
-        }
-    };
-    let mut occ = Occupancy::new(n);
-    let mut positions = vec![origin; n];
-    let mut steps = vec![0u64; n];
-    let mut settled_at = vec![origin; n];
-    occ.settle(origin);
-    let mut active: Vec<usize> = (1..n).collect();
-    let mut round = 0u64;
-    record(&mut milestones, active.len(), 0);
-    let mut total = 0u64;
-    while !active.is_empty() {
-        round += 1;
-        let mut still = Vec::with_capacity(active.len());
-        for &i in &active {
-            let pos = step(g, cfg.walk, positions[i], rng);
-            positions[i] = pos;
-            steps[i] += 1;
-            total += 1;
-            assert!(total <= cfg.step_cap, "milestone run exceeded step cap");
-            if !occ.is_occupied(pos) {
-                occ.settle(pos);
-                settled_at[i] = pos;
-            } else {
-                still.push(i);
-            }
-        }
-        active = still;
-        record(&mut milestones, active.len(), round);
-    }
-    let outcome = DispersionOutcome::new(origin, steps, settled_at, None);
-    (outcome, milestones)
+) -> Result<(DispersionOutcome, Vec<u64>), EngineError> {
+    let ecfg = EngineConfig::full(g, origin, cfg);
+    let mut phases = PhaseTimes::for_particles(g.n());
+    let out = engine::run(
+        g,
+        &mut Parallel::new(),
+        &FirstVacant,
+        &ecfg,
+        &mut phases,
+        rng,
+    )?;
+    let outcome = DispersionOutcome::new(origin, out.steps, out.settled_at, None);
+    Ok((outcome, phases.phases))
 }
 
 /// Sequential dispersion with **random origins**: particle `i` starts at an
 /// independent uniform vertex and walks until it finds a vacant vertex
 /// (settling instantly if its start is vacant).
+///
+/// # Errors
+///
+/// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires.
 pub fn run_sequential_random_origins<R: Rng + ?Sized>(
     g: &Graph,
     k: usize,
     cfg: &ProcessConfig,
     rng: &mut R,
-) -> DispersionOutcome {
-    let n = g.n();
-    assert!(k >= 1 && k <= n, "particle count {k} out of range 1..={n}");
-    let mut occ = Occupancy::new(n);
-    let mut steps = Vec::with_capacity(k);
-    let mut settled_at = Vec::with_capacity(k);
-    let mut total = 0u64;
-    for _ in 0..k {
-        let mut pos = rng.random_range(0..n) as Vertex;
-        let mut walked = 0u64;
-        while occ.is_occupied(pos) {
-            pos = step(g, cfg.walk, pos, rng);
-            walked += 1;
-            total += 1;
-            assert!(total <= cfg.step_cap, "random-origin run exceeded step cap");
-        }
-        occ.settle(pos);
-        steps.push(walked);
-        settled_at.push(pos);
-    }
-    // origin is meaningless here; report the first particle's start... use 0
-    let first = settled_at[0];
-    let mut o = partial_outcome(first, steps, settled_at);
-    o.origin = first;
-    o
+) -> Result<DispersionOutcome, EngineError> {
+    let ecfg = EngineConfig::random_origins(k, cfg);
+    let out = engine::run(g, &mut Sequential::new(), &FirstVacant, &ecfg, &mut (), rng)?;
+    // origin is meaningless here; report the first particle's settle vertex
+    let first = out.settled_at[0];
+    Ok(partial_outcome(first, out.steps, out.settled_at))
 }
 
 fn partial_outcome(origin: Vertex, steps: Vec<u64>, settled_at: Vec<Vertex>) -> DispersionOutcome {
     // DispersionOutcome::new checks distinct settle vertices against the
     // particle count; for k < n runs the vertex ids exceed k, so do the
-    // uniqueness check by set here instead.
+    // uniqueness check by sort here instead.
     let mut sorted = settled_at.clone();
     sorted.sort_unstable();
     for w in sorted.windows(2) {
@@ -218,7 +142,7 @@ mod tests {
     fn sequential_k_settles_k_distinct_vertices() {
         let g = cycle(32);
         let mut rng = StdRng::seed_from_u64(1);
-        let o = run_sequential_k(&g, 0, 10, &ProcessConfig::simple(), &mut rng);
+        let o = run_sequential_k(&g, 0, 10, &ProcessConfig::simple(), &mut rng).unwrap();
         assert_eq!(o.steps.len(), 10);
         let mut s = o.settled_at.clone();
         s.sort_unstable();
@@ -230,7 +154,7 @@ mod tests {
     fn parallel_k_settles_k_distinct_vertices() {
         let g = complete(32);
         let mut rng = StdRng::seed_from_u64(2);
-        let o = run_parallel_k(&g, 0, 16, &ProcessConfig::simple(), &mut rng);
+        let o = run_parallel_k(&g, 0, 16, &ProcessConfig::simple(), &mut rng).unwrap();
         assert_eq!(o.steps.len(), 16);
         let mut s = o.settled_at.clone();
         s.sort_unstable();
@@ -247,8 +171,12 @@ mod tests {
         let mut full = 0u64;
         let mut kn = 0u64;
         for _ in 0..trials {
-            full += run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng).dispersion_time;
-            kn += run_parallel_k(&g, 0, 24, &ProcessConfig::simple(), &mut rng).dispersion_time;
+            full += run_parallel(&g, 0, &ProcessConfig::simple(), &mut rng)
+                .unwrap()
+                .dispersion_time;
+            kn += run_parallel_k(&g, 0, 24, &ProcessConfig::simple(), &mut rng)
+                .unwrap()
+                .dispersion_time;
         }
         let ratio = kn as f64 / full as f64;
         assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
@@ -263,8 +191,12 @@ mod tests {
         let mut half = 0u64;
         let mut full = 0u64;
         for _ in 0..trials {
-            half += run_parallel_k(&g, 0, 32, &ProcessConfig::simple(), &mut rng).dispersion_time;
-            full += run_parallel_k(&g, 0, 64, &ProcessConfig::simple(), &mut rng).dispersion_time;
+            half += run_parallel_k(&g, 0, 32, &ProcessConfig::simple(), &mut rng)
+                .unwrap()
+                .dispersion_time;
+            full += run_parallel_k(&g, 0, 64, &ProcessConfig::simple(), &mut rng)
+                .unwrap()
+                .dispersion_time;
         }
         assert!(
             half < full,
@@ -276,7 +208,7 @@ mod tests {
     fn milestones_monotone_and_end_at_dispersion() {
         let g = torus2d(8);
         let mut rng = StdRng::seed_from_u64(5);
-        let (o, ms) = run_parallel_milestones(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let (o, ms) = run_parallel_milestones(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         // milestones[0] = full dispersion round
         assert_eq!(ms[0], o.dispersion_time);
         // thresholds get easier as j grows: rounds decrease
@@ -292,7 +224,7 @@ mod tests {
         // half-way milestone must be far below the full dispersion time.
         let g = complete(128);
         let mut rng = StdRng::seed_from_u64(6);
-        let (o, ms) = run_parallel_milestones(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let (o, ms) = run_parallel_milestones(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         let j_half = (64f64).log2() as usize; // 2^6 - 1 = 63 < 64 remaining
         assert!(
             ms[j_half] * 4 < o.dispersion_time.max(4),
@@ -306,7 +238,7 @@ mod tests {
     fn random_origins_cover_k_vertices() {
         let g = cycle(40);
         let mut rng = StdRng::seed_from_u64(7);
-        let o = run_sequential_random_origins(&g, 40, &ProcessConfig::simple(), &mut rng);
+        let o = run_sequential_random_origins(&g, 40, &ProcessConfig::simple(), &mut rng).unwrap();
         let mut s = o.settled_at.clone();
         s.sort_unstable();
         assert_eq!(s, (0..40).collect::<Vec<_>>());
@@ -327,8 +259,10 @@ mod tests {
                 &ProcessConfig::simple(),
                 &mut rng,
             )
+            .unwrap()
             .dispersion_time;
             spread += run_sequential_random_origins(&g, 64, &ProcessConfig::simple(), &mut rng)
+                .unwrap()
                 .dispersion_time;
         }
         assert!(

@@ -4,12 +4,15 @@
 //! This is the classical IDLA protocol of Diaconis–Fulton restricted to a
 //! finite graph. On the complete graph it is exactly the coupon-collector
 //! process (Theorem 5.2: `t_seq(K_n) ∼ κ_cc · n`).
+//!
+//! The walk/settle loop lives in [`crate::engine`]; this module is the
+//! schedule-specific entry point kept for API compatibility.
 
-use crate::block::Block;
-use crate::occupancy::Occupancy;
+use crate::engine::observer::TrajectoryBlock;
+use crate::engine::schedule::Sequential;
+use crate::engine::{self, EngineConfig, EngineError, FirstVacant};
 use crate::outcome::DispersionOutcome;
 use crate::process::ProcessConfig;
-use dispersion_graphs::walk::step;
 use dispersion_graphs::{Graph, Vertex};
 use rand::Rng;
 
@@ -18,57 +21,36 @@ use rand::Rng;
 /// Particle 0 settles at the origin instantly (0 steps); each subsequent
 /// particle walks from the origin until it first visits a vacant vertex.
 ///
+/// # Errors
+///
+/// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires
+/// (disconnected graph).
+///
 /// # Panics
 ///
-/// Panics if the graph is disconnected from `origin` (the step cap fires) or
-/// `origin` is out of range.
+/// Panics if `origin` is out of range.
 pub fn run_sequential<R: Rng + ?Sized>(
     g: &Graph,
     origin: Vertex,
     cfg: &ProcessConfig,
     rng: &mut R,
-) -> DispersionOutcome {
-    let n = g.n();
-    assert!((origin as usize) < n, "origin {origin} out of range");
-    let mut occ = Occupancy::new(n);
-    let mut steps = Vec::with_capacity(n);
-    let mut settled_at = Vec::with_capacity(n);
-    let mut rows: Option<Vec<Vec<Vertex>>> = cfg.record_trajectories.then(|| Vec::with_capacity(n));
-
-    // particle 0 settles at the origin
-    occ.settle(origin);
-    steps.push(0);
-    settled_at.push(origin);
-    if let Some(rows) = rows.as_mut() {
-        rows.push(vec![origin]);
-    }
-
-    let mut total: u64 = 0;
-    for _ in 1..n {
-        let mut pos = origin;
-        let mut walked: u64 = 0;
-        let mut row: Option<Vec<Vertex>> = cfg.record_trajectories.then(|| vec![origin]);
-        loop {
-            pos = step(g, cfg.walk, pos, rng);
-            walked += 1;
-            total += 1;
-            assert!(total <= cfg.step_cap, "sequential run exceeded step cap");
-            if let Some(row) = row.as_mut() {
-                row.push(pos);
-            }
-            if !occ.is_occupied(pos) {
-                occ.settle(pos);
-                break;
-            }
-        }
-        steps.push(walked);
-        settled_at.push(pos);
-        if let (Some(rows), Some(row)) = (rows.as_mut(), row) {
-            rows.push(row);
-        }
-    }
-    debug_assert!(occ.is_full());
-    DispersionOutcome::new(origin, steps, settled_at, rows.map(Block::from_rows))
+) -> Result<DispersionOutcome, EngineError> {
+    let ecfg = EngineConfig::full(g, origin, cfg);
+    let mut traj = cfg.record_trajectories.then(TrajectoryBlock::new);
+    let out = engine::run(
+        g,
+        &mut Sequential::new(),
+        &FirstVacant,
+        &ecfg,
+        &mut traj,
+        rng,
+    )?;
+    Ok(DispersionOutcome::new(
+        origin,
+        out.steps,
+        out.settled_at,
+        traj.map(TrajectoryBlock::into_block),
+    ))
 }
 
 #[cfg(test)]
@@ -83,7 +65,7 @@ mod tests {
     fn covers_every_vertex_exactly_once() {
         let g = cycle(12);
         let mut rng = StdRng::seed_from_u64(1);
-        let o = run_sequential(&g, 3, &ProcessConfig::simple(), &mut rng);
+        let o = run_sequential(&g, 3, &ProcessConfig::simple(), &mut rng).unwrap();
         let mut settled = o.settled_at.clone();
         settled.sort_unstable();
         assert_eq!(settled, (0..12).collect::<Vec<_>>());
@@ -95,7 +77,7 @@ mod tests {
     fn recorded_block_is_valid_sequential() {
         let g = complete(8);
         let mut rng = StdRng::seed_from_u64(2);
-        let o = run_sequential(&g, 0, &ProcessConfig::simple().recording(), &mut rng);
+        let o = run_sequential(&g, 0, &ProcessConfig::simple().recording(), &mut rng).unwrap();
         let b = o.block.as_ref().unwrap();
         assert!(is_sequential_block(b));
         assert!(rows_are_walks(b, &g, false));
@@ -106,7 +88,7 @@ mod tests {
     fn lazy_block_allows_stays() {
         let g = path(6);
         let mut rng = StdRng::seed_from_u64(3);
-        let o = run_sequential(&g, 0, &ProcessConfig::lazy().recording(), &mut rng);
+        let o = run_sequential(&g, 0, &ProcessConfig::lazy().recording(), &mut rng).unwrap();
         let b = o.block.as_ref().unwrap();
         assert!(is_sequential_block(b));
         assert!(rows_are_walks(b, &g, true));
@@ -114,12 +96,11 @@ mod tests {
 
     #[test]
     fn star_first_two_particles() {
-        // On the star from the centre, every particle settles in exactly
-        // one step until only the centre's... every walk from centre hits a
+        // On the star from the centre, every walk from the centre hits a
         // leaf in 1 step; occupied leaves force returns.
         let g = star(5);
         let mut rng = StdRng::seed_from_u64(4);
-        let o = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let o = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         assert_eq!(o.steps[1], 1); // first mover settles a leaf immediately
                                    // all later particles need odd step counts (leaf-centre-leaf...)
         for i in 1..5 {
@@ -134,7 +115,7 @@ mod tests {
         // right of the filled prefix).
         let g = path(6);
         let mut rng = StdRng::seed_from_u64(5);
-        let o = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let o = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         for (i, &v) in o.settled_at.iter().enumerate() {
             assert_eq!(v as usize, i);
         }
@@ -148,7 +129,7 @@ mod tests {
     fn dispersion_time_is_max() {
         let g = complete(10);
         let mut rng = StdRng::seed_from_u64(6);
-        let o = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let o = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         assert_eq!(o.dispersion_time, *o.steps.iter().max().unwrap());
         assert_eq!(o.total_steps, o.steps.iter().sum::<u64>());
     }
@@ -161,7 +142,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut total = 0u64;
         for _ in 0..200 {
-            let o = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng);
+            let o = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
             total += o.dispersion_time;
         }
         let mean = total as f64 / 200.0;
@@ -169,11 +150,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "step cap")]
-    fn cap_fires() {
+    fn cap_returns_error() {
         let g = cycle(64);
         let mut rng = StdRng::seed_from_u64(8);
-        let _ = run_sequential(&g, 0, &ProcessConfig::simple().with_cap(16), &mut rng);
+        let err =
+            run_sequential(&g, 0, &ProcessConfig::simple().with_cap(16), &mut rng).unwrap_err();
+        assert!(matches!(err, EngineError::StepCapExceeded { cap: 16, .. }));
     }
 
     #[test]
@@ -181,7 +163,7 @@ mod tests {
         // Theorem 4.3's G̃: simple walk on lazified graph == lazy walk on G.
         let g = cycle(8).lazified();
         let mut rng = StdRng::seed_from_u64(9);
-        let o = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let o = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         assert_eq!(o.n(), 8);
     }
 }

@@ -6,15 +6,18 @@
 //! already-settled particle are no-ops but still consume a tick. The
 //! dispersion time of the uniform process is measured in ticks (the values
 //! of the timing array `T`), not in the longest row.
+//!
+//! The walk/settle loop lives in [`crate::engine`]; this module is the
+//! schedule-specific entry point kept for API compatibility.
 
 use crate::block::algorithms::TimedBlock;
-use crate::block::Block;
-use crate::occupancy::Occupancy;
+use crate::engine::observer::TrajectoryBlock;
+use crate::engine::schedule::Uniform;
+use crate::engine::{self, EngineConfig, EngineError, FirstVacant};
 use crate::outcome::DispersionOutcome;
 use crate::process::ProcessConfig;
-use dispersion_graphs::walk::step;
 use dispersion_graphs::{Graph, Vertex};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Outcome of a Uniform-IDLA run.
 #[derive(Clone, Debug)]
@@ -37,72 +40,43 @@ pub struct UniformOutcome {
 
 /// Runs one Uniform-IDLA realization from `origin`.
 ///
+/// # Errors
+///
+/// Returns [`EngineError::StepCapExceeded`] if the tick cap fires.
+///
 /// # Panics
 ///
-/// Panics if the step cap fires (counted in ticks here) or `origin` is out
-/// of range.
+/// Panics if `origin` is out of range.
 pub fn run_uniform<R: Rng + ?Sized>(
     g: &Graph,
     origin: Vertex,
     cfg: &ProcessConfig,
     rng: &mut R,
-) -> UniformOutcome {
-    let n = g.n();
-    assert!((origin as usize) < n, "origin {origin} out of range");
-    let mut occ = Occupancy::new(n);
-    let mut positions: Vec<Vertex> = vec![origin; n];
-    let mut settled = vec![false; n];
-    let mut steps = vec![0u64; n];
-    let mut settled_at: Vec<Vertex> = vec![origin; n];
-    let mut rows: Option<Vec<Vec<Vertex>>> = cfg.record_trajectories.then(|| vec![vec![origin]; n]);
-    let mut times: Option<Vec<Vec<u64>>> = cfg.record_trajectories.then(|| vec![vec![0u64]; n]);
-    let mut schedule: Option<Vec<usize>> = cfg.record_trajectories.then(Vec::new);
-
-    occ.settle(origin);
-    settled[0] = true;
-    let mut unsettled = n - 1;
-    let mut tick: u64 = 0;
-    let mut settle_tick = 0u64;
-    while unsettled > 0 {
-        tick += 1;
-        assert!(tick <= cfg.step_cap, "uniform run exceeded tick cap");
-        let i = if n > 1 { rng.random_range(1..n) } else { 0 };
-        if let Some(schedule) = schedule.as_mut() {
-            schedule.push(i);
+) -> Result<UniformOutcome, EngineError> {
+    let ecfg = EngineConfig::full(g, origin, cfg);
+    let mut traj = cfg.record_trajectories.then(TrajectoryBlock::with_timing);
+    let out = engine::run(
+        g,
+        &mut Uniform::new(g.n()),
+        &FirstVacant,
+        &ecfg,
+        &mut traj,
+        rng,
+    )?;
+    let (block, timed, schedule) = match traj {
+        Some(t) => {
+            let (b, timed, schedule) = t.into_parts();
+            (Some(b), timed, schedule)
         }
-        if settled[i] {
-            continue;
-        }
-        let pos = step(g, cfg.walk, positions[i], rng);
-        positions[i] = pos;
-        steps[i] += 1;
-        if let Some(rows) = rows.as_mut() {
-            rows[i].push(pos);
-        }
-        if let Some(times) = times.as_mut() {
-            times[i].push(tick);
-        }
-        if !occ.is_occupied(pos) {
-            occ.settle(pos);
-            settled[i] = true;
-            settled_at[i] = pos;
-            unsettled -= 1;
-            settle_tick = tick;
-        }
-    }
-    debug_assert!(occ.is_full());
-    let block = rows.map(Block::from_rows);
-    let timed = match (block.clone(), times) {
-        (Some(block), Some(times)) => Some(TimedBlock { block, times }),
-        _ => None,
+        None => (None, None, None),
     };
-    let outcome = DispersionOutcome::new(origin, steps, settled_at, block);
-    UniformOutcome {
+    let outcome = DispersionOutcome::new(origin, out.steps, out.settled_at, block);
+    Ok(UniformOutcome {
         outcome,
-        settle_tick,
+        settle_tick: out.settle_tick,
         timed,
         schedule,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -119,7 +93,7 @@ mod tests {
     fn covers_every_vertex() {
         let g = cycle(10);
         let mut rng = StdRng::seed_from_u64(1);
-        let o = run_uniform(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let o = run_uniform(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         let mut settled = o.outcome.settled_at.clone();
         settled.sort_unstable();
         assert_eq!(settled, (0..10).collect::<Vec<_>>());
@@ -130,7 +104,7 @@ mod tests {
         // every jump consumes a tick, and no-op ticks only add
         let g = complete(12);
         let mut rng = StdRng::seed_from_u64(2);
-        let o = run_uniform(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let o = run_uniform(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         assert!(o.settle_tick >= o.outcome.total_steps);
     }
 
@@ -140,7 +114,7 @@ mod tests {
         // yields a valid parallel block.
         let g = star(8);
         let mut rng = StdRng::seed_from_u64(3);
-        let o = run_uniform(&g, 0, &ProcessConfig::simple().recording(), &mut rng);
+        let o = run_uniform(&g, 0, &ProcessConfig::simple().recording(), &mut rng).unwrap();
         let b = o.outcome.block.as_ref().unwrap();
         assert!(has_distinct_endpoints(b));
         assert!(rows_are_walks(b, &g, false));
@@ -153,7 +127,7 @@ mod tests {
     fn timing_array_consistent() {
         let g = cycle(8);
         let mut rng = StdRng::seed_from_u64(4);
-        let o = run_uniform(&g, 0, &ProcessConfig::simple().recording(), &mut rng);
+        let o = run_uniform(&g, 0, &ProcessConfig::simple().recording(), &mut rng).unwrap();
         let timed = o.timed.as_ref().unwrap();
         for (tr, rr) in timed.times.iter().zip(timed.block.rows()) {
             assert_eq!(tr.len(), rr.len());
@@ -172,7 +146,7 @@ mod tests {
         for seed in 0..8 {
             let g = cycle(9);
             let mut rng = StdRng::seed_from_u64(seed);
-            let o = run_uniform(&g, 0, &ProcessConfig::simple().recording(), &mut rng);
+            let o = run_uniform(&g, 0, &ProcessConfig::simple().recording(), &mut rng).unwrap();
             let timed = o.timed.as_ref().unwrap();
             let schedule = o.schedule.as_ref().unwrap();
             let par = sequential_to_parallel(&timed.block);
@@ -183,10 +157,18 @@ mod tests {
     }
 
     #[test]
+    fn cap_returns_error() {
+        let g = cycle(32);
+        let mut rng = StdRng::seed_from_u64(6);
+        let err = run_uniform(&g, 0, &ProcessConfig::simple().with_cap(8), &mut rng).unwrap_err();
+        assert!(matches!(err, EngineError::StepCapExceeded { cap: 8, .. }));
+    }
+
+    #[test]
     fn single_vertex_graph() {
         let g = dispersion_graphs::generators::cycle(1);
         let mut rng = StdRng::seed_from_u64(5);
-        let o = run_uniform(&g, 0, &ProcessConfig::simple(), &mut rng);
+        let o = run_uniform(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
         assert_eq!(o.settle_tick, 0);
         assert_eq!(o.outcome.dispersion_time, 0);
     }

@@ -1,12 +1,12 @@
 //! High-level experiment drivers: estimate dispersion times of any process
-//! variant over many parallel trials.
+//! variant over many parallel trials, streaming statistics out of the
+//! schedule-generic engine instead of materialising per-run state.
 
-use crate::parallel::par_samples;
+use crate::parallel::{par_samples, par_trials};
 use crate::stats::Summary;
-use dispersion_core::process::continuous::{run_continuous_sequential, run_ctu};
-use dispersion_core::process::parallel::run_parallel;
-use dispersion_core::process::sequential::run_sequential;
-use dispersion_core::process::uniform::run_uniform;
+use dispersion_core::engine::observer::PhaseTimes;
+use dispersion_core::engine::{self, schedule, EngineConfig, EngineError, FirstVacant};
+use dispersion_core::process::continuous::sample_gamma_int;
 use dispersion_core::process::ProcessConfig;
 use dispersion_graphs::{Graph, Vertex};
 
@@ -37,8 +37,114 @@ impl Process {
         }
     }
 
+    /// All five scheduler variants, in Table 1 order.
+    pub fn all() -> [Process; 5] {
+        [
+            Process::Sequential,
+            Process::Parallel,
+            Process::Uniform,
+            Process::Ctu,
+            Process::ContinuousSequential,
+        ]
+    }
+
+    /// Runs one realization through the engine with the observer `obs`
+    /// attached, returning the raw [`engine::EngineOutcome`].
+    ///
+    /// This is the composition point: pass `&mut (&mut time, &mut shape)`
+    /// to measure several statistics in a single pass.
+    ///
+    /// For [`Process::ContinuousSequential`] the jump sequence is the
+    /// discrete sequential run (that is what observers see); the outcome's
+    /// `time` field carries the per-particle `Gamma(ρ, 1)` Poisson-clock
+    /// settle time, sampled after the walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::StepCapExceeded`] when the safety cap fires.
+    pub fn run_observed<O: engine::Observer, R: rand::Rng + ?Sized>(
+        self,
+        g: &Graph,
+        origin: Vertex,
+        cfg: &ProcessConfig,
+        obs: &mut O,
+        rng: &mut R,
+    ) -> Result<engine::EngineOutcome, EngineError> {
+        let ecfg = EngineConfig::full(g, origin, cfg);
+        match self {
+            Process::Sequential => engine::run(
+                g,
+                &mut schedule::Sequential::new(),
+                &FirstVacant,
+                &ecfg,
+                obs,
+                rng,
+            ),
+            Process::ContinuousSequential => {
+                let mut out = engine::run(
+                    g,
+                    &mut schedule::Sequential::new(),
+                    &FirstVacant,
+                    &ecfg,
+                    obs,
+                    rng,
+                )?;
+                out.time = out
+                    .steps
+                    .iter()
+                    .map(|&rho| sample_gamma_int(rho, rng))
+                    .fold(0.0, f64::max);
+                Ok(out)
+            }
+            Process::Parallel => engine::run(
+                g,
+                &mut schedule::Parallel::new(),
+                &FirstVacant,
+                &ecfg,
+                obs,
+                rng,
+            ),
+            Process::Uniform => engine::run(
+                g,
+                &mut schedule::Uniform::new(g.n()),
+                &FirstVacant,
+                &ecfg,
+                obs,
+                rng,
+            ),
+            Process::Ctu => {
+                engine::run(g, &mut schedule::Ctu::new(), &FirstVacant, &ecfg, obs, rng)
+            }
+        }
+    }
+
     /// Runs one realization and returns its dispersion time in the process's
     /// native unit (steps, rounds, ticks or real time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::StepCapExceeded`] when the safety cap fires.
+    pub fn try_dispersion_time<R: rand::Rng + ?Sized>(
+        self,
+        g: &Graph,
+        origin: Vertex,
+        cfg: &ProcessConfig,
+        rng: &mut R,
+    ) -> Result<f64, EngineError> {
+        let out = self.run_observed(g, origin, cfg, &mut (), rng)?;
+        Ok(match self {
+            Process::Sequential | Process::Parallel => out.dispersion_time() as f64,
+            Process::Uniform => out.settle_tick as f64,
+            Process::Ctu | Process::ContinuousSequential => out.time,
+        })
+    }
+
+    /// Runs one realization and returns its dispersion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step cap fires; use [`Process::try_dispersion_time`]
+    /// to handle the cap gracefully at large `n`.
     pub fn dispersion_time<R: rand::Rng + ?Sized>(
         self,
         g: &Graph,
@@ -46,15 +152,8 @@ impl Process {
         cfg: &ProcessConfig,
         rng: &mut R,
     ) -> f64 {
-        match self {
-            Process::Sequential => run_sequential(g, origin, cfg, rng).dispersion_time as f64,
-            Process::Parallel => run_parallel(g, origin, cfg, rng).dispersion_time as f64,
-            Process::Uniform => run_uniform(g, origin, cfg, rng).settle_tick as f64,
-            Process::Ctu => run_ctu(g, origin, cfg, rng).settle_time,
-            Process::ContinuousSequential => {
-                run_continuous_sequential(g, origin, cfg, rng).settle_time
-            }
-        }
+        self.try_dispersion_time(g, origin, cfg, rng)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -102,17 +201,51 @@ pub fn total_steps_samples(
     threads: usize,
     seed: u64,
 ) -> Vec<f64> {
-    par_samples(trials, threads, seed, |_, rng| match process {
-        Process::Sequential => run_sequential(g, origin, cfg, rng).total_steps as f64,
-        Process::Parallel => run_parallel(g, origin, cfg, rng).total_steps as f64,
-        Process::Uniform => run_uniform(g, origin, cfg, rng).outcome.total_steps as f64,
-        Process::Ctu => run_ctu(g, origin, cfg, rng).outcome.total_steps as f64,
-        Process::ContinuousSequential => {
-            run_continuous_sequential(g, origin, cfg, rng)
-                .outcome
-                .total_steps as f64
-        }
+    par_samples(trials, threads, seed, |_, rng| {
+        // the continuous clocks do not change the jump sequence, so every
+        // variant's total steps comes straight from its engine outcome
+        let p = match process {
+            Process::ContinuousSequential => Process::Sequential,
+            p => p,
+        };
+        p.run_observed(g, origin, cfg, &mut (), rng)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .total_steps as f64
     })
+}
+
+/// Draws `trials` Theorem 3.3/3.5 phase profiles of the Parallel schedule:
+/// each sample is `phases[j]`, the first round at which fewer than `2^j`
+/// particles remain unsettled (`j = 0` is the full dispersion time). The
+/// profile streams out of a [`PhaseTimes`] observer — no trajectories are
+/// stored, so this works at any `n` the simulation itself can reach.
+pub fn phase_time_samples(
+    g: &Graph,
+    origin: Vertex,
+    cfg: &ProcessConfig,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> Vec<Vec<u64>> {
+    par_trials(trials, threads, seed, |_, rng| {
+        let mut phases = PhaseTimes::for_particles(g.n());
+        Process::Parallel
+            .run_observed(g, origin, cfg, &mut phases, rng)
+            .unwrap_or_else(|e| panic!("{e}"));
+        phases.phases
+    })
+}
+
+/// Column means of [`phase_time_samples`]: `profile[j]` is the mean round
+/// at which fewer than `2^j` particles remained.
+pub fn mean_phase_profile(samples: &[Vec<u64>]) -> Vec<f64> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let jmax = samples[0].len();
+    (0..jmax)
+        .map(|j| samples.iter().map(|s| s[j] as f64).sum::<f64>() / samples.len() as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -183,16 +316,58 @@ mod tests {
 
     #[test]
     fn all_process_labels_distinct() {
-        let ps = [
-            Process::Sequential,
-            Process::Parallel,
-            Process::Uniform,
-            Process::Ctu,
-            Process::ContinuousSequential,
-        ];
+        let ps = Process::all();
         let mut labels: Vec<_> = ps.iter().map(|p| p.label()).collect();
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), ps.len());
+    }
+
+    #[test]
+    fn try_dispersion_time_surfaces_cap() {
+        let g = cycle(32);
+        let cfg = ProcessConfig::simple().with_cap(4);
+        let mut rng = crate::rng::Xoshiro256pp::new(1);
+        let err = Process::Parallel
+            .try_dispersion_time(&g, 0, &cfg, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::StepCapExceeded { .. }));
+    }
+
+    #[test]
+    fn phase_profiles_monotone_and_anchor_at_dispersion() {
+        let g = complete(64);
+        let cfg = ProcessConfig::simple();
+        let samples = phase_time_samples(&g, 0, &cfg, 20, 4, 9);
+        assert_eq!(samples.len(), 20);
+        for s in &samples {
+            for w in s.windows(2) {
+                assert!(w[0] >= w[1], "profile not monotone: {s:?}");
+            }
+        }
+        let profile = mean_phase_profile(&samples);
+        assert_eq!(profile.len(), samples[0].len());
+        // phases[0] is the full dispersion time; it must dominate the rest
+        assert!(profile[0] >= profile[profile.len() - 1]);
+    }
+
+    #[test]
+    fn observers_compose_through_process() {
+        use dispersion_core::engine::observer::{DispersionTime, Odometer};
+        let g = complete(32);
+        let mut rng = crate::rng::Xoshiro256pp::new(4);
+        let mut time = DispersionTime::default();
+        let mut odo = Odometer::default();
+        let out = Process::Parallel
+            .run_observed(
+                &g,
+                0,
+                &ProcessConfig::simple(),
+                &mut (&mut time, &mut odo),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(time.max_steps, out.dispersion_time());
+        assert_eq!(odo.steps, out.total_steps);
     }
 }

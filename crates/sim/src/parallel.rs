@@ -6,9 +6,12 @@
 //! atomic counter so threads self-balance across trials of uneven length.
 //! Per-trial seeds derive deterministically from one master seed: results
 //! are bit-reproducible regardless of thread count or interleaving.
+//!
+//! Results are accumulated in per-thread buffers tagged with the trial
+//! index and merged once at the end — no per-trial locks anywhere on the
+//! hot path.
 
 use crate::rng::{trial_seed, Xoshiro256pp};
-use parking_lot::Mutex;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -32,26 +35,49 @@ where
     F: Fn(usize, &mut Xoshiro256pp) -> T + Sync,
 {
     let threads = threads.max(1).min(trials.max(1));
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
+    let run_one = |i: usize| {
+        let mut rng = Xoshiro256pp::new(trial_seed(master_seed, i as u64));
+        f(i, &mut rng)
+    };
+    if threads == 1 {
+        return (0..trials).map(run_one).collect();
+    }
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= trials {
-                    break;
-                }
-                let mut rng = Xoshiro256pp::new(trial_seed(master_seed, i as u64));
-                let out = f(i, &mut rng);
-                *results[i].lock() = Some(out);
-            });
-        }
+    let next = AtomicUsize::new(0);
+    let buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    // local (index, result) buffer: threads never contend
+                    // past the work counter
+                    let mut local = Vec::with_capacity(trials / threads + 1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= trials {
+                            break;
+                        }
+                        local.push((i, run_one(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
     });
 
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("trial result missing"))
+    // single-pass merge back into trial order
+    let mut out: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    for buf in buffers {
+        for (i, v) in buf {
+            debug_assert!(out[i].is_none(), "trial {i} produced twice");
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("trial result missing"))
         .collect()
 }
 
@@ -106,5 +132,29 @@ mod tests {
         let out = par_trials(100, 4, 7, |_, rng| rng.random::<u64>());
         let distinct: std::collections::HashSet<_> = out.iter().collect();
         assert_eq!(distinct.len(), out.len());
+    }
+
+    #[test]
+    fn uneven_trial_lengths_balance() {
+        // trials of wildly different cost still come back complete and
+        // ordered (self-balancing dispatch)
+        let out = par_trials(33, 4, 3, |i, _| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..33).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _ = par_trials(8, 4, 1, |i, _| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
     }
 }

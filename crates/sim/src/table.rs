@@ -142,6 +142,23 @@ fn json_value(cell: &str) -> String {
     }
 }
 
+/// Formats a throughput-style rate (events/second) compactly for table
+/// cells: `"8.21M"`, `"453k"`, `"97.3"`.
+pub fn fmt_rate(x: f64) -> String {
+    if !x.is_finite() {
+        return x.to_string();
+    }
+    if x.abs() >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x.abs() >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x.abs() >= 1e3 {
+        format!("{:.0}k", x / 1e3)
+    } else {
+        fmt_f(x)
+    }
+}
+
 /// Formats a float with 3 significant-ish decimals for table cells.
 pub fn fmt_f(x: f64) -> String {
     if x == 0.0 {
@@ -218,6 +235,15 @@ mod tests {
         assert_eq!(fmt_f(1234.5), "1234"); // round-half-to-even
         assert_eq!(fmt_f(56.78), "56.8");
         assert_eq!(fmt_f(1.2345), "1.234");
+    }
+
+    #[test]
+    fn rate_formats() {
+        assert_eq!(fmt_rate(8_210_000.0), "8.21M");
+        assert_eq!(fmt_rate(2_500_000_000.0), "2.50G");
+        assert_eq!(fmt_rate(453_000.0), "453k");
+        assert_eq!(fmt_rate(97.3), "97.3");
+        assert_eq!(fmt_rate(0.0), "0");
     }
 
     #[test]

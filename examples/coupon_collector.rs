@@ -50,7 +50,7 @@ fn main() {
     // --- clique dispersion vs literal coupon collector ---
     let g = complete(n);
     let disp = par_samples(trials, 0, 11, |_, rng| {
-        run_sequential(&g, 0, &cfg, rng).dispersion_time as f64
+        run_sequential(&g, 0, &cfg, rng).unwrap().dispersion_time as f64
     });
     let cc = par_samples(trials, 0, 12, |_, rng| {
         coupon_collector_longest_wait(n, rng) as f64
@@ -78,11 +78,11 @@ fn main() {
     let small = 64; // cycles are Θ(n² log n); keep it tame
     let gc = cycle(small);
     let cyc = par_samples(trials, 0, 13, |_, rng| {
-        run_sequential(&gc, 0, &cfg, rng).dispersion_time as f64
+        run_sequential(&gc, 0, &cfg, rng).unwrap().dispersion_time as f64
     });
     let gk = complete(small);
     let clq = par_samples(trials, 0, 14, |_, rng| {
-        run_sequential(&gk, 0, &cfg, rng).dispersion_time as f64
+        run_sequential(&gk, 0, &cfg, rng).unwrap().dispersion_time as f64
     });
     let sc = Summary::from_samples(&cyc);
     let sk = Summary::from_samples(&clq);

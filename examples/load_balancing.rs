@@ -39,16 +39,20 @@ fn main() {
     );
 
     let seq_disp = par_samples(trials, 0, 21, |_, rng| {
-        run_sequential(&cluster, 0, &cfg, rng).dispersion_time as f64
+        run_sequential(&cluster, 0, &cfg, rng)
+            .unwrap()
+            .dispersion_time as f64
     });
     let par_disp = par_samples(trials, 0, 22, |_, rng| {
-        run_parallel(&cluster, 0, &cfg, rng).dispersion_time as f64
+        run_parallel(&cluster, 0, &cfg, rng)
+            .unwrap()
+            .dispersion_time as f64
     });
     let seq_traffic = par_samples(trials, 0, 23, |_, rng| {
-        run_sequential(&cluster, 0, &cfg, rng).total_steps as f64
+        run_sequential(&cluster, 0, &cfg, rng).unwrap().total_steps as f64
     });
     let par_traffic = par_samples(trials, 0, 24, |_, rng| {
-        run_parallel(&cluster, 0, &cfg, rng).total_steps as f64
+        run_parallel(&cluster, 0, &cfg, rng).unwrap().total_steps as f64
     });
 
     let sd = Summary::from_samples(&seq_disp);

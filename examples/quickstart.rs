@@ -25,22 +25,22 @@ fn main() {
     println!("Dispersion processes on K_{n} from vertex {origin}\n");
 
     // --- one realization of each process ---
-    let seq = run_sequential(&g, origin, &cfg, &mut rng);
+    let seq = run_sequential(&g, origin, &cfg, &mut rng).unwrap();
     println!(
         "Sequential-IDLA : dispersion {:5} steps, total {:6} steps",
         seq.dispersion_time, seq.total_steps
     );
-    let par = run_parallel(&g, origin, &cfg, &mut rng);
+    let par = run_parallel(&g, origin, &cfg, &mut rng).unwrap();
     println!(
         "Parallel-IDLA   : dispersion {:5} rounds, total {:6} steps",
         par.dispersion_time, par.total_steps
     );
-    let unif = run_uniform(&g, origin, &cfg, &mut rng);
+    let unif = run_uniform(&g, origin, &cfg, &mut rng).unwrap();
     println!(
         "Uniform-IDLA    : settled after {:5} ticks ({} jumps)",
         unif.settle_tick, unif.outcome.total_steps
     );
-    let ctu = run_ctu(&g, origin, &cfg, &mut rng);
+    let ctu = run_ctu(&g, origin, &cfg, &mut rng).unwrap();
     println!(
         "CTU-IDLA        : settled at real time {:8.1}",
         ctu.settle_time

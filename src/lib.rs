@@ -12,7 +12,7 @@
 //!
 //! let g = complete(32);
 //! let mut rng = Xoshiro256pp::new(1);
-//! let out = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng);
+//! let out = run_sequential(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
 //! assert_eq!(out.settled_at.len(), 32);
 //! ```
 

@@ -35,13 +35,13 @@ fn recorded_realizations_are_valid_blocks() {
         let cfg = ProcessConfig::simple().recording();
         let mut rng = Xoshiro256pp::new(100 + k as u64);
         for _ in 0..5 {
-            let s = run_sequential(&inst.graph, inst.origin, &cfg, &mut rng);
+            let s = run_sequential(&inst.graph, inst.origin, &cfg, &mut rng).unwrap();
             let sb = s.block.as_ref().unwrap();
             assert!(is_sequential_block(sb), "{}", inst.label);
             assert!(rows_are_walks(sb, &inst.graph, false));
             assert!(s.consistent_with_block());
 
-            let p = run_parallel(&inst.graph, inst.origin, &cfg, &mut rng);
+            let p = run_parallel(&inst.graph, inst.origin, &cfg, &mut rng).unwrap();
             let pb = p.block.as_ref().unwrap();
             assert!(is_parallel_block(pb), "{}", inst.label);
             assert!(rows_are_walks(pb, &inst.graph, false));
@@ -59,6 +59,7 @@ fn stp_pts_bijection_on_real_runs() {
         let mut rng = Xoshiro256pp::new(200 + k as u64);
         for _ in 0..5 {
             let sb = run_sequential(&inst.graph, inst.origin, &cfg, &mut rng)
+                .unwrap()
                 .block
                 .unwrap();
             let stp = sequential_to_parallel(&sb);
@@ -72,6 +73,7 @@ fn stp_pts_bijection_on_real_runs() {
             assert!(stp.max_row_length() >= sb.max_row_length());
 
             let pb = run_parallel(&inst.graph, inst.origin, &cfg, &mut rng)
+                .unwrap()
                 .block
                 .unwrap();
             let pts = parallel_to_sequential(&pb);
@@ -88,6 +90,7 @@ fn lazy_realizations_respect_the_same_coupling() {
     let cfg = ProcessConfig::lazy().recording();
     let mut rng = Xoshiro256pp::new(78);
     let sb = run_sequential(&inst.graph, inst.origin, &cfg, &mut rng)
+        .unwrap()
         .block
         .unwrap();
     assert!(rows_are_walks(&sb, &inst.graph, true));
@@ -162,6 +165,7 @@ fn theorem_4_7_uniform_blocks_map_to_parallel() {
     let mut rng = Xoshiro256pp::new(501);
     for trial in 0..10 {
         let pb = run_parallel(&inst.graph, inst.origin, &cfg, &mut rng)
+            .unwrap()
             .block
             .unwrap();
         let n = pb.n_rows();

@@ -41,7 +41,7 @@ proptest! {
     #[test]
     fn sequential_settles_all_vertices((g, origin) in connected_graph(), seed in any::<u64>()) {
         let mut rng = Xoshiro256pp::new(seed);
-        let o = run_sequential(&g, origin, &ProcessConfig::simple(), &mut rng);
+        let o = run_sequential(&g, origin, &ProcessConfig::simple(), &mut rng).unwrap();
         let mut settled = o.settled_at.clone();
         settled.sort_unstable();
         prop_assert_eq!(settled, (0..g.n() as Vertex).collect::<Vec<_>>());
@@ -52,7 +52,7 @@ proptest! {
     #[test]
     fn parallel_settles_all_vertices((g, origin) in connected_graph(), seed in any::<u64>()) {
         let mut rng = Xoshiro256pp::new(seed);
-        let o = run_parallel(&g, origin, &ProcessConfig::simple(), &mut rng);
+        let o = run_parallel(&g, origin, &ProcessConfig::simple(), &mut rng).unwrap();
         let mut settled = o.settled_at.clone();
         settled.sort_unstable();
         prop_assert_eq!(settled, (0..g.n() as Vertex).collect::<Vec<_>>());
@@ -66,7 +66,7 @@ proptest! {
     fn recorded_blocks_valid_and_transformable((g, origin) in connected_graph(), seed in any::<u64>()) {
         let mut rng = Xoshiro256pp::new(seed);
         let cfg = ProcessConfig::simple().recording();
-        let s = run_sequential(&g, origin, &cfg, &mut rng);
+        let s = run_sequential(&g, origin, &cfg, &mut rng).unwrap();
         let sb = s.block.unwrap();
         prop_assert!(is_sequential_block(&sb));
         prop_assert!(rows_are_walks(&sb, &g, false));
@@ -84,7 +84,7 @@ proptest! {
     fn parallel_blocks_roundtrip((g, origin) in connected_graph(), seed in any::<u64>()) {
         let mut rng = Xoshiro256pp::new(seed);
         let cfg = ProcessConfig::simple().recording();
-        let p = run_parallel(&g, origin, &cfg, &mut rng);
+        let p = run_parallel(&g, origin, &cfg, &mut rng).unwrap();
         let pb = p.block.unwrap();
         prop_assert!(is_parallel_block(&pb));
         let pts = parallel_to_sequential(&pb);
@@ -97,7 +97,7 @@ proptest! {
     #[test]
     fn uniform_outcome_consistent((g, origin) in connected_graph(), seed in any::<u64>()) {
         let mut rng = Xoshiro256pp::new(seed);
-        let o = run_uniform(&g, origin, &ProcessConfig::simple().recording(), &mut rng);
+        let o = run_uniform(&g, origin, &ProcessConfig::simple().recording(), &mut rng).unwrap();
         prop_assert!(o.settle_tick >= o.outcome.dispersion_time);
         prop_assert!(o.outcome.consistent_with_block());
         let timed = o.timed.unwrap();
@@ -110,7 +110,7 @@ proptest! {
     #[test]
     fn lazy_runs_also_cover((g, origin) in connected_graph(), seed in any::<u64>()) {
         let mut rng = Xoshiro256pp::new(seed);
-        let o = run_sequential(&g, origin, &ProcessConfig::lazy(), &mut rng);
+        let o = run_sequential(&g, origin, &ProcessConfig::lazy(), &mut rng).unwrap();
         let mut settled = o.settled_at.clone();
         settled.sort_unstable();
         prop_assert_eq!(settled, (0..g.n() as Vertex).collect::<Vec<_>>());
