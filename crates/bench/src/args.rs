@@ -3,7 +3,9 @@
 //! Flags (all optional):
 //! `--trials K`, `--seed S`, `--threads T`, `--sizes a,b,c`,
 //! `--format text|csv|json` (`--csv` is shorthand for `--format csv`),
-//! plus free positional arguments interpreted by each binary.
+//! `--topology explicit|implicit` (CSR adjacency vs closed-form neighbour
+//! math for the structured families), plus free positional arguments
+//! interpreted by each binary.
 
 use dispersion_sim::default_threads;
 use dispersion_sim::table::TextTable;
@@ -18,6 +20,29 @@ pub enum OutputFormat {
     Csv,
     /// Newline-delimited JSON records (`BENCH_*.json` captures).
     Json,
+}
+
+/// Which graph backend the simulated columns run on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Materialised CSR adjacency (`dispersion_graphs::Graph`) — works for
+    /// every family.
+    #[default]
+    Explicit,
+    /// Closed-form implicit topology (`dispersion_graphs::topology`) —
+    /// zero adjacency storage; available for path, cycle, 2-d torus,
+    /// hypercube and clique.
+    Implicit,
+}
+
+impl Backend {
+    /// Short label for table output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Explicit => "explicit",
+            Backend::Implicit => "implicit",
+        }
+    }
 }
 
 /// Parsed command-line options.
@@ -36,6 +61,12 @@ pub struct Options {
     pub csv: bool,
     /// Table serialisation selected by `--format` / `--csv`.
     pub format: OutputFormat,
+    /// Graph backend selected by `--topology explicit|implicit`; `None`
+    /// when the flag was not given, so binaries whose natural default is
+    /// "both backends" (e.g. `engine_throughput`) can distinguish an
+    /// explicit request from no request. Single-backend binaries read it
+    /// through [`Options::backend_or_explicit`].
+    pub backend: Option<Backend>,
     /// Positional (non-flag) arguments.
     pub positional: Vec<String>,
 }
@@ -50,6 +81,7 @@ impl Options {
             sizes: Vec::new(),
             csv: false,
             format: OutputFormat::Text,
+            backend: None,
             positional: Vec::new(),
         }
     }
@@ -79,6 +111,16 @@ impl Options {
                         .collect();
                 }
                 "--csv" => opts.format = OutputFormat::Csv,
+                "--topology" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| panic!("--topology needs a value"));
+                    opts.backend = Some(match v.as_str() {
+                        "explicit" => Backend::Explicit,
+                        "implicit" => Backend::Implicit,
+                        other => panic!("--topology must be explicit or implicit, got {other:?}"),
+                    });
+                }
                 "--format" => {
                     let v = it
                         .next()
@@ -100,6 +142,13 @@ impl Options {
     /// Parses the real process arguments.
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// The selected backend, defaulting to [`Backend::Explicit`] when
+    /// `--topology` was not given — for binaries that run on exactly one
+    /// backend per invocation.
+    pub fn backend_or_explicit(&self) -> Backend {
+        self.backend.unwrap_or_default()
     }
 
     /// The sizes to use, falling back to `default` when `--sizes` was not
@@ -190,6 +239,31 @@ mod tests {
     #[should_panic(expected = "--format must be")]
     fn bad_format_panics() {
         let _ = parse(&["--format", "xml"]);
+    }
+
+    #[test]
+    fn topology_flag_parses() {
+        assert_eq!(parse(&[]).backend, None);
+        assert_eq!(parse(&[]).backend_or_explicit(), Backend::Explicit);
+        assert_eq!(
+            parse(&["--topology", "explicit"]).backend,
+            Some(Backend::Explicit)
+        );
+        assert_eq!(
+            parse(&["--topology", "implicit"]).backend,
+            Some(Backend::Implicit)
+        );
+        assert_eq!(
+            parse(&["--topology", "implicit"]).backend_or_explicit(),
+            Backend::Implicit
+        );
+        assert_eq!(Backend::Implicit.label(), "implicit");
+    }
+
+    #[test]
+    #[should_panic(expected = "--topology must be")]
+    fn bad_topology_panics() {
+        let _ = parse(&["--topology", "csr"]);
     }
 
     #[test]

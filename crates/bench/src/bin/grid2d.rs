@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! cargo run -p dispersion-bench --release --bin grid2d -- [--trials 100]
-//!     [--sizes 500] [--process seq|par|both]
+//!     [--sizes 500] [--process seq|par|both] [--topology explicit|implicit]
 //! ```
 //!
 //! `--sizes` takes torus side lengths (`--sizes 500` is the 500×500
@@ -20,17 +20,26 @@
 //! `n > 20 000` automatically cap the trial count and skip the shape
 //! section.
 //!
+//! `--topology implicit` runs the simulation on the closed-form
+//! `dispersion_graphs::topology::Torus2d` — **no adjacency is ever
+//! materialised**, so torus sides in the thousands (`--sizes 2000` is the
+//! `n = 4·10⁶` torus) are limited by walker time only, not memory. The
+//! exact solver columns need the CSR operators and print `-` in implicit
+//! mode; use an explicit run at the same side to fill them.
+//!
 //! The shape section runs the classical Prop 5.10 object — a sequential
 //! fill with `k = n/2` particles — as one engine pass per trial with three
 //! composed observers (`AggregateShape` ball statistics, `DispersionTime`,
 //! `PhaseTimes`), so nothing is rerun and no trajectory is materialised.
 
-use dispersion_bench::Options;
+use dispersion_bench::{Backend, Options};
 use dispersion_core::engine::observer::{AggregateShape, DispersionTime, PhaseTimes};
 use dispersion_core::engine::{self, schedule, EngineConfig, FirstVacant};
 use dispersion_core::process::ProcessConfig;
 use dispersion_graphs::generators::grid::{index_of, torus2d};
+use dispersion_graphs::topology;
 use dispersion_graphs::traversal::diameter_bounds;
+use dispersion_graphs::Topology;
 use dispersion_markov::hitting::hitting_times_to_set_with;
 use dispersion_markov::mixing::spectral_gap_with;
 use dispersion_markov::transition::WalkKind;
@@ -72,9 +81,103 @@ fn which_process(opts: &Options) -> Which {
     Which::Both
 }
 
+/// The simulated `t_seq`/`t_par` columns on any backend — this is the code
+/// path the implicit topology accelerates.
+#[allow(clippy::too_many_arguments)]
+fn simulate<T: Topology + Sync>(
+    t: &T,
+    origin: u32,
+    which: Which,
+    cfg: &ProcessConfig,
+    trials: usize,
+    opts: &Options,
+    s0: u64,
+    stage: &dyn Fn(&str, std::time::Instant),
+) -> (Option<Summary>, Option<Summary>) {
+    let sample = |process: Process, seed: u64, label: &str| -> Option<Summary> {
+        let wanted = match process {
+            Process::Sequential => which != Which::Par,
+            _ => which != Which::Seq,
+        };
+        if !wanted {
+            return None;
+        }
+        let t0 = std::time::Instant::now();
+        let s = Summary::from_samples(&dispersion_samples(
+            t,
+            origin,
+            process,
+            cfg,
+            trials,
+            opts.threads,
+            seed,
+        ));
+        stage(label, t0);
+        Some(s)
+    };
+    let seq = sample(Process::Sequential, s0, "t_seq simulation");
+    let par = sample(Process::Parallel, s0 + 1, "t_par simulation");
+    (seq, par)
+}
+
+/// One shape-section row: Prop 5.10 half-fill statistics on any backend.
+fn shape_row<T: Topology + Sync>(t: &T, side: usize, opts: &Options, k: usize) -> [String; 8] {
+    let n = t.n();
+    let dims = [side, side];
+    let origin = index_of(&[side / 2, side / 2], &dims);
+    let particles = (n / 2).max(1);
+    let j_half = PhaseTimes::half_index(particles);
+    let cfg = ProcessConfig::simple();
+    type ShapeRow = (f64, f64, f64, f64, f64, f64);
+    let stats: Vec<ShapeRow> = par_trials(
+        opts.trials.min(40),
+        opts.threads,
+        opts.seed + 1000 + k as u64,
+        |_, rng| {
+            let mut shape = AggregateShape::at_counts(origin, &dims, &[particles]);
+            let mut time = DispersionTime::default();
+            // tick clock: per-particle steps are not a shared clock
+            // under the Sequential schedule
+            let mut phases = PhaseTimes::in_ticks(particles);
+            let ecfg = EngineConfig::with_particles(particles, origin, &cfg);
+            engine::run(
+                t,
+                &mut schedule::Sequential::new(),
+                &FirstVacant,
+                &ecfg,
+                &mut (&mut shape, &mut time, &mut phases),
+                rng,
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
+            let s = &shape.snapshots[0].1;
+            (
+                s.inner_radius,
+                s.outer_radius,
+                s.fluctuation(),
+                s.roundness(),
+                time.max_steps as f64,
+                phases.phases[j_half] as f64,
+            )
+        },
+    );
+    let mean = |f: &dyn Fn(&ShapeRow) -> f64| stats.iter().map(f).sum::<f64>() / stats.len() as f64;
+    let ball_r = ((n / 2) as f64 / std::f64::consts::PI).sqrt();
+    [
+        side.to_string(),
+        fmt_f(mean(&|s| s.0)),
+        fmt_f(mean(&|s| s.1)),
+        fmt_f(mean(&|s| s.2)),
+        fmt_f(mean(&|s| s.3)),
+        fmt_f(ball_r),
+        fmt_f(mean(&|s| s.4)),
+        fmt_f(mean(&|s| s.5)),
+    ]
+}
+
 fn main() {
     let opts = Options::from_env();
     let which = which_process(&opts);
+    let implicit = opts.backend_or_explicit() == Backend::Implicit;
     let sides = if opts.sizes.is_empty() {
         vec![12usize, 16, 24, 32, 48]
     } else {
@@ -83,9 +186,14 @@ fn main() {
     let cfg = ProcessConfig::simple();
 
     println!("# Open Problem 1: 2-d torus dispersion between Ω(n log n) and O(n log² n)\n");
+    if implicit {
+        println!("# topology = implicit: closed-form neighbours, no adjacency materialised;");
+        println!("# exact solver columns need CSR operators and are skipped\n");
+    }
     let mut t = TextTable::new([
         "side",
         "n",
+        "topology",
         "trials",
         "t_seq",
         "t_par",
@@ -96,18 +204,9 @@ fn main() {
         "gap(lazy)",
     ]);
     for (k, &side) in sides.iter().enumerate() {
-        let g = torus2d(side);
-        let n = g.n();
+        let n = side * side;
         let origin = index_of(&[side / 2, side / 2], &[side, side]);
-        // double-sweep bounds are enough for a scale diagnostic and stay
-        // O(m) where the exact diameter would be O(n·m); stderr keeps the
-        // stdout stream clean for --format csv/json consumers
-        if let Some((lo, hi)) = diameter_bounds(&g) {
-            eprintln!("# side={side}: n={n}, m={}, diam ∈ [{lo}, {hi}]", g.m());
-        }
-        // exact quantities through the backend switch: dense LU/Jacobi
-        // below DENSE_LIMIT states, sparse CG/Lanczos beyond — this is
-        // what unlocks side ≥ 500
+        // stderr keeps the stdout stream clean for --format csv/json consumers
         let verbose = n > LARGE_N;
         let stage = |label: &str, t0: std::time::Instant| {
             if verbose {
@@ -117,14 +216,6 @@ fn main() {
                 );
             }
         };
-        let t0 = std::time::Instant::now();
-        let thit = hitting_times_to_set_with(&g, WalkKind::Simple, &[origin], Solver::Auto)
-            .into_iter()
-            .fold(0.0f64, f64::max);
-        stage("t_hit (CG)", t0);
-        let t0 = std::time::Instant::now();
-        let gap = spectral_gap_with(&g, WalkKind::Lazy, Solver::Auto);
-        stage("gap (Lanczos)", t0);
         let trials = if n > HUGE_N {
             opts.trials.min(1)
         } else if n > LARGE_N {
@@ -133,29 +224,32 @@ fn main() {
             opts.trials
         };
         let s0 = opts.seed + 10 * k as u64;
-        let sample = |process: Process, seed: u64, label: &str| -> Option<Summary> {
-            let wanted = match process {
-                Process::Sequential => which != Which::Par,
-                _ => which != Which::Seq,
-            };
-            if !wanted {
-                return None;
+        // exact quantities through the backend switch: dense LU/Jacobi
+        // below DENSE_LIMIT states, sparse CG/Lanczos beyond — this is
+        // what unlocks side ≥ 500 (explicit mode only: the solvers need
+        // the CSR operators)
+        let (seq, par, exact) = if implicit {
+            let topo = topology::Torus2d::new(side);
+            let (seq, par) = simulate(&topo, origin, which, &cfg, trials, &opts, s0, &stage);
+            (seq, par, None)
+        } else {
+            let g = torus2d(side);
+            // double-sweep bounds are enough for a scale diagnostic and stay
+            // O(m) where the exact diameter would be O(n·m)
+            if let Some((lo, hi)) = diameter_bounds(&g) {
+                eprintln!("# side={side}: n={n}, m={}, diam ∈ [{lo}, {hi}]", g.m());
             }
             let t0 = std::time::Instant::now();
-            let s = Summary::from_samples(&dispersion_samples(
-                &g,
-                origin,
-                process,
-                &cfg,
-                trials,
-                opts.threads,
-                seed,
-            ));
-            stage(label, t0);
-            Some(s)
+            let thit = hitting_times_to_set_with(&g, WalkKind::Simple, &[origin], Solver::Auto)
+                .into_iter()
+                .fold(0.0f64, f64::max);
+            stage("t_hit (CG)", t0);
+            let t0 = std::time::Instant::now();
+            let gap = spectral_gap_with(&g, WalkKind::Lazy, Solver::Auto);
+            stage("gap (Lanczos)", t0);
+            let (seq, par) = simulate(&g, origin, which, &cfg, trials, &opts, s0, &stage);
+            (seq, par, Some((thit, gap)))
         };
-        let seq = sample(Process::Sequential, s0, "t_seq simulation");
-        let par = sample(Process::Parallel, s0 + 1, "t_par simulation");
         let nf = n as f64;
         let opt_f = |s: &Option<Summary>| s.as_ref().map_or("-".into(), |s| fmt_f(s.mean));
         let opt_norm =
@@ -163,14 +257,16 @@ fn main() {
         t.push_row([
             side.to_string(),
             n.to_string(),
+            opts.backend_or_explicit().label().to_string(),
             trials.to_string(),
             opt_f(&seq),
             opt_f(&par),
             opt_norm(&par, nf * nf.ln()),
             opt_norm(&par, nf * nf.ln() * nf.ln()),
-            fmt_f(thit),
-            fmt_f(thit / (nf * nf.ln())),
-            format!("{gap:.3e}"), // gaps shrink like 1/side²; fmt_f would show 0
+            exact.map_or("-".into(), |(thit, _)| fmt_f(thit)),
+            exact.map_or("-".into(), |(thit, _)| fmt_f(thit / (nf * nf.ln()))),
+            // gaps shrink like 1/side²; fmt_f would show 0
+            exact.map_or("-".into(), |(_, gap)| format!("{gap:.3e}")),
         ]);
     }
     print!("{}", opts.render(&t));
@@ -207,57 +303,12 @@ fn main() {
         "half t",
     ]);
     for (k, &side) in shape_sides.iter().enumerate() {
-        let g = torus2d(side);
-        let n = g.n();
-        let dims = [side, side];
-        let origin = index_of(&[side / 2, side / 2], &dims);
-        let particles = (n / 2).max(1);
-        let j_half = PhaseTimes::half_index(particles);
-        type ShapeRow = (f64, f64, f64, f64, f64, f64);
-        let stats: Vec<ShapeRow> = par_trials(
-            opts.trials.min(40),
-            opts.threads,
-            opts.seed + 1000 + k as u64,
-            |_, rng| {
-                let mut shape = AggregateShape::at_counts(origin, &dims, &[particles]);
-                let mut time = DispersionTime::default();
-                // tick clock: per-particle steps are not a shared clock
-                // under the Sequential schedule
-                let mut phases = PhaseTimes::in_ticks(particles);
-                let ecfg = EngineConfig::with_particles(particles, origin, &cfg);
-                engine::run(
-                    &g,
-                    &mut schedule::Sequential::new(),
-                    &FirstVacant,
-                    &ecfg,
-                    &mut (&mut shape, &mut time, &mut phases),
-                    rng,
-                )
-                .unwrap_or_else(|e| panic!("{e}"));
-                let s = &shape.snapshots[0].1;
-                (
-                    s.inner_radius,
-                    s.outer_radius,
-                    s.fluctuation(),
-                    s.roundness(),
-                    time.max_steps as f64,
-                    phases.phases[j_half] as f64,
-                )
-            },
-        );
-        let mean =
-            |f: &dyn Fn(&ShapeRow) -> f64| stats.iter().map(f).sum::<f64>() / stats.len() as f64;
-        let ball_r = ((n / 2) as f64 / std::f64::consts::PI).sqrt();
-        t2.push_row([
-            side.to_string(),
-            fmt_f(mean(&|s| s.0)),
-            fmt_f(mean(&|s| s.1)),
-            fmt_f(mean(&|s| s.2)),
-            fmt_f(mean(&|s| s.3)),
-            fmt_f(ball_r),
-            fmt_f(mean(&|s| s.4)),
-            fmt_f(mean(&|s| s.5)),
-        ]);
+        let row = if implicit {
+            shape_row(&topology::Torus2d::new(side), side, &opts, k)
+        } else {
+            shape_row(&torus2d(side), side, &opts, k)
+        };
+        t2.push_row(row);
     }
     print!("{}", opts.render(&t2));
     println!("\n(shape theorems: fluctuation = O(log r), roundness → 1; t_fill is the");

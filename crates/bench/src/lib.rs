@@ -9,5 +9,5 @@
 pub mod args;
 pub mod sweep;
 
-pub use args::{Options, OutputFormat};
+pub use args::{Backend, Options, OutputFormat};
 pub use sweep::{family_sweep, SweepPoint};

@@ -9,6 +9,14 @@
 //! realization blocks, aggregate shapes, phase boundaries) without
 //! materialising per-step state.
 //!
+//! The loop is generic over [`Topology`], the graph-as-neighbour-oracle
+//! trait: pass a CSR [`dispersion_graphs::Graph`] for arbitrary graphs, or
+//! one of the implicit families (`dispersion_graphs::topology::{Torus2d,
+//! Cycle, Path, Hypercube, Complete}`) to run with closed-form neighbour
+//! math and **zero adjacency storage** — the monomorphised loop then has
+//! no per-step memory indirection and million-vertex torus runs (Open
+//! Problem 1 territory) stop being memory-bound.
+//!
 //! The historical entry points (`process::sequential::run_sequential` and
 //! friends) are thin wrappers over [`run`]; call the engine directly to
 //! compose observers or to run `k < n` particles / random origins under any
@@ -49,7 +57,7 @@ pub use schedule::Schedule;
 use crate::occupancy::Occupancy;
 use crate::process::ProcessConfig;
 use dispersion_graphs::walk::step;
-use dispersion_graphs::{Graph, Vertex, WalkKind};
+use dispersion_graphs::{Topology, Vertex, WalkKind};
 use rand::{Rng, RngExt};
 use schedule::{Event, Removal, SpawnMode};
 
@@ -114,8 +122,8 @@ pub struct EngineConfig {
 
 impl EngineConfig {
     /// The standard full run: `g.n()` particles from `origin`, walk flavour
-    /// and cap taken from `cfg`.
-    pub fn full(g: &Graph, origin: Vertex, cfg: &ProcessConfig) -> Self {
+    /// and cap taken from `cfg`. Accepts any [`Topology`] backend.
+    pub fn full<T: Topology + ?Sized>(g: &T, origin: Vertex, cfg: &ProcessConfig) -> Self {
         Self::with_particles(g.n(), origin, cfg)
     }
 
@@ -206,6 +214,9 @@ impl EngineOutcome {
 /// Runs one dispersion realization of `schedule` under `rule`, streaming
 /// events into `obs`.
 ///
+/// Generic over the graph backend: any [`Topology`] works, and the loop
+/// monomorphises per backend so implicit families pay no dispatch cost.
+///
 /// Returns [`EngineError::StepCapExceeded`] instead of panicking when the
 /// cap fires, so drivers can report partial progress at large `n`.
 ///
@@ -214,8 +225,8 @@ impl EngineOutcome {
 /// Panics on configuration errors: `particles` outside `1..=g.n()`, an
 /// out-of-range origin, or [`Origins::RandomUniform`] under an eager-spawn
 /// schedule.
-pub fn run<S, Q, O, R>(
-    g: &Graph,
+pub fn run<T, S, Q, O, R>(
+    g: &T,
     schedule: &mut S,
     rule: &Q,
     cfg: &EngineConfig,
@@ -223,6 +234,7 @@ pub fn run<S, Q, O, R>(
     rng: &mut R,
 ) -> Result<EngineOutcome, EngineError>
 where
+    T: Topology + ?Sized,
     S: Schedule,
     Q: SettleRule,
     O: Observer,
@@ -410,6 +422,7 @@ mod tests {
     use super::observer::{DispersionTime, Odometer, PerParticleSteps, PhaseTimes};
     use super::*;
     use dispersion_graphs::generators::{complete, cycle, torus2d};
+    use dispersion_graphs::Graph;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

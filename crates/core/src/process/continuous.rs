@@ -20,7 +20,7 @@ use crate::engine::{self, EngineConfig, EngineError, FirstVacant};
 use crate::outcome::DispersionOutcome;
 use crate::process::sequential::run_sequential;
 use crate::process::ProcessConfig;
-use dispersion_graphs::{Graph, Vertex};
+use dispersion_graphs::{Topology, Vertex};
 use rand::{Rng, RngExt};
 
 pub use crate::engine::schedule::sample_exponential;
@@ -63,7 +63,8 @@ pub fn sample_gamma_int<R: Rng + ?Sized>(shape: u64, rng: &mut R) -> f64 {
     }
 }
 
-/// Runs one continuous-time Uniform-IDLA (CTU-IDLA) realization.
+/// Runs one continuous-time Uniform-IDLA (CTU-IDLA) realization on any
+/// [`Topology`] backend.
 ///
 /// # Errors
 ///
@@ -72,8 +73,8 @@ pub fn sample_gamma_int<R: Rng + ?Sized>(shape: u64, rng: &mut R) -> f64 {
 /// # Panics
 ///
 /// Panics if `origin` is out of range.
-pub fn run_ctu<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn run_ctu<T: Topology + ?Sized, R: Rng + ?Sized>(
+    g: &T,
     origin: Vertex,
     cfg: &ProcessConfig,
     rng: &mut R,
@@ -95,8 +96,8 @@ pub fn run_ctu<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires.
-pub fn run_continuous_sequential<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn run_continuous_sequential<T: Topology + ?Sized, R: Rng + ?Sized>(
+    g: &T,
     origin: Vertex,
     cfg: &ProcessConfig,
     rng: &mut R,

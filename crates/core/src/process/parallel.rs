@@ -15,10 +15,11 @@ use crate::engine::schedule::Parallel;
 use crate::engine::{self, EngineConfig, EngineError, FirstVacant};
 use crate::outcome::DispersionOutcome;
 use crate::process::ProcessConfig;
-use dispersion_graphs::{Graph, Vertex};
+use dispersion_graphs::{Topology, Vertex};
 use rand::Rng;
 
-/// Runs one Parallel-IDLA realization with `g.n()` particles from `origin`.
+/// Runs one Parallel-IDLA realization with `g.n()` particles from `origin`
+/// on any [`Topology`] backend (CSR graph or implicit family).
 ///
 /// Particle 0 settles at the origin at round 0. The dispersion time equals
 /// the number of rounds until the last particle settles (every unsettled
@@ -31,8 +32,8 @@ use rand::Rng;
 /// # Panics
 ///
 /// Panics if `origin` is out of range.
-pub fn run_parallel<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn run_parallel<T: Topology + ?Sized, R: Rng + ?Sized>(
+    g: &T,
     origin: Vertex,
     cfg: &ProcessConfig,
     rng: &mut R,

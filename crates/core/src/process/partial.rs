@@ -17,7 +17,7 @@ use crate::engine::schedule::{Parallel, Sequential};
 use crate::engine::{self, EngineConfig, EngineError, FirstVacant};
 use crate::outcome::DispersionOutcome;
 use crate::process::ProcessConfig;
-use dispersion_graphs::{Graph, Vertex};
+use dispersion_graphs::{Topology, Vertex};
 use rand::Rng;
 
 /// Sequential-IDLA with `k ≤ n` particles from a common origin. The first
@@ -33,8 +33,8 @@ use rand::Rng;
 /// # Panics
 ///
 /// Panics if `k == 0` or `k > n`.
-pub fn run_sequential_k<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn run_sequential_k<T: Topology + ?Sized, R: Rng + ?Sized>(
+    g: &T,
     origin: Vertex,
     k: usize,
     cfg: &ProcessConfig,
@@ -50,8 +50,8 @@ pub fn run_sequential_k<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires.
-pub fn run_parallel_k<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn run_parallel_k<T: Topology + ?Sized, R: Rng + ?Sized>(
+    g: &T,
     origin: Vertex,
     k: usize,
     cfg: &ProcessConfig,
@@ -69,8 +69,8 @@ pub fn run_parallel_k<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires.
-pub fn run_parallel_milestones<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn run_parallel_milestones<T: Topology + ?Sized, R: Rng + ?Sized>(
+    g: &T,
     origin: Vertex,
     cfg: &ProcessConfig,
     rng: &mut R,
@@ -96,8 +96,8 @@ pub fn run_parallel_milestones<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires.
-pub fn run_sequential_random_origins<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn run_sequential_random_origins<T: Topology + ?Sized, R: Rng + ?Sized>(
+    g: &T,
     k: usize,
     cfg: &ProcessConfig,
     rng: &mut R,

@@ -13,10 +13,11 @@ use crate::engine::schedule::Sequential;
 use crate::engine::{self, EngineConfig, EngineError, FirstVacant};
 use crate::outcome::DispersionOutcome;
 use crate::process::ProcessConfig;
-use dispersion_graphs::{Graph, Vertex};
+use dispersion_graphs::{Topology, Vertex};
 use rand::Rng;
 
-/// Runs one Sequential-IDLA realization with `g.n()` particles from `origin`.
+/// Runs one Sequential-IDLA realization with `g.n()` particles from `origin`
+/// on any [`Topology`] backend (CSR graph or implicit family).
 ///
 /// Particle 0 settles at the origin instantly (0 steps); each subsequent
 /// particle walks from the origin until it first visits a vacant vertex.
@@ -29,8 +30,8 @@ use rand::Rng;
 /// # Panics
 ///
 /// Panics if `origin` is out of range.
-pub fn run_sequential<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn run_sequential<T: Topology + ?Sized, R: Rng + ?Sized>(
+    g: &T,
     origin: Vertex,
     cfg: &ProcessConfig,
     rng: &mut R,

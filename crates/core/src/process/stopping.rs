@@ -15,7 +15,7 @@ use crate::engine::schedule::{Parallel, Sequential};
 use crate::engine::{self, EngineConfig, EngineError};
 use crate::outcome::DispersionOutcome;
 use crate::process::ProcessConfig;
-use dispersion_graphs::{Graph, Vertex};
+use dispersion_graphs::{Topology, Vertex};
 use rand::Rng;
 
 pub use crate::engine::rule::{DelayedExcept, FirstVacant, SettleRule};
@@ -26,8 +26,8 @@ pub use crate::engine::rule::{DelayedExcept, FirstVacant, SettleRule};
 ///
 /// Returns [`EngineError::StepCapExceeded`] if the rule prevents
 /// termination within the step cap.
-pub fn run_sequential_with_rule<S: SettleRule, R: Rng + ?Sized>(
-    g: &Graph,
+pub fn run_sequential_with_rule<T: Topology + ?Sized, S: SettleRule, R: Rng + ?Sized>(
+    g: &T,
     origin: Vertex,
     rule: &S,
     cfg: &ProcessConfig,
@@ -50,8 +50,8 @@ pub fn run_sequential_with_rule<S: SettleRule, R: Rng + ?Sized>(
 ///
 /// Returns [`EngineError::StepCapExceeded`] if the rule prevents
 /// termination within the step cap.
-pub fn run_parallel_with_rule<S: SettleRule, R: Rng + ?Sized>(
-    g: &Graph,
+pub fn run_parallel_with_rule<T: Topology + ?Sized, S: SettleRule, R: Rng + ?Sized>(
+    g: &T,
     origin: Vertex,
     rule: &S,
     cfg: &ProcessConfig,

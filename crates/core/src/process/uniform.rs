@@ -16,7 +16,7 @@ use crate::engine::schedule::Uniform;
 use crate::engine::{self, EngineConfig, EngineError, FirstVacant};
 use crate::outcome::DispersionOutcome;
 use crate::process::ProcessConfig;
-use dispersion_graphs::{Graph, Vertex};
+use dispersion_graphs::{Topology, Vertex};
 use rand::Rng;
 
 /// Outcome of a Uniform-IDLA run.
@@ -38,7 +38,8 @@ pub struct UniformOutcome {
     pub schedule: Option<Vec<usize>>,
 }
 
-/// Runs one Uniform-IDLA realization from `origin`.
+/// Runs one Uniform-IDLA realization from `origin` on any [`Topology`]
+/// backend (CSR graph or implicit family).
 ///
 /// # Errors
 ///
@@ -47,8 +48,8 @@ pub struct UniformOutcome {
 /// # Panics
 ///
 /// Panics if `origin` is out of range.
-pub fn run_uniform<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn run_uniform<T: Topology + ?Sized, R: Rng + ?Sized>(
+    g: &T,
     origin: Vertex,
     cfg: &ProcessConfig,
     rng: &mut R,

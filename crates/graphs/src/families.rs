@@ -3,6 +3,7 @@
 
 use crate::generators::{basic, composite, grid, hypercube, random, tree};
 use crate::graph::{Graph, Vertex};
+use crate::topology::{self, Implicit};
 use rand::Rng;
 
 /// A graph family from Table 1 of the paper (plus the gadget families used
@@ -139,6 +140,28 @@ impl Family {
         }
     }
 
+    /// Closed-form implicit [`Topology`](crate::Topology) for the families
+    /// that admit one, sized with the **same rounding rules** as
+    /// [`Family::instance`] so implicit and explicit sweeps line up
+    /// row-for-row. Families without closed-form neighbour math
+    /// (trees, expanders, gadgets) return `None`.
+    pub fn implicit(self, n: usize) -> Option<Implicit> {
+        match self {
+            Family::Path => Some(Implicit::Path(topology::Path::new(n))),
+            Family::Cycle => Some(Implicit::Cycle(topology::Cycle::new(n))),
+            Family::Torus2d => {
+                let s = (n as f64).sqrt().round().max(2.0) as usize;
+                Some(Implicit::Torus2d(topology::Torus2d::new(s)))
+            }
+            Family::Hypercube => {
+                let k = (n as f64).log2().round().max(1.0) as usize;
+                Some(Implicit::Hypercube(topology::Hypercube::new(k)))
+            }
+            Family::Complete => Some(Implicit::Complete(topology::Complete::new(n))),
+            _ => None,
+        }
+    }
+
     /// The Table 1 families in paper order.
     pub fn table1() -> Vec<Family> {
         vec![
@@ -195,6 +218,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let inst = Family::RandomRegular(3).instance(33, &mut rng);
         assert_eq!(inst.graph.n() % 2, 0);
+    }
+
+    #[test]
+    fn implicit_sizes_align_with_instances() {
+        use crate::topology::Topology;
+        let mut rng = StdRng::seed_from_u64(10);
+        for fam in Family::table1() {
+            let Some(imp) = fam.implicit(100) else {
+                continue;
+            };
+            let inst = fam.instance(100, &mut rng);
+            assert_eq!(imp.n(), inst.graph.n(), "{} sizes diverge", inst.label);
+            assert_eq!(imp.total_degree(), inst.graph.total_degree());
+        }
+        // families without closed forms opt out
+        assert!(Family::BinaryTree.implicit(64).is_none());
+        assert!(Family::RandomRegular(4).implicit(64).is_none());
+        assert!(Family::Lollipop.implicit(64).is_none());
     }
 
     #[test]

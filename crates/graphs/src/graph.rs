@@ -161,6 +161,13 @@ impl Graph {
     ///
     /// `with_self_loops(deg(v))` realises the `G̃` construction in the proof of
     /// Theorem 4.3: the walk on `G̃` is the lazy walk on `G`.
+    ///
+    /// This **materialises** a second adjacency (`O(n + m)` memory).
+    /// Simulations that only need the walk semantics should use
+    /// `WalkKind::Lazy` or the zero-allocation
+    /// [`lazified_view`](Graph::lazified_view) instead; this constructor
+    /// remains for callers that need an explicit loop graph (transition
+    /// matrices, spectral code).
     pub fn with_loops_per_vertex<F: Fn(Vertex) -> usize>(&self, loops: F) -> Graph {
         let mut b = GraphBuilder::new(self.n());
         for (u, v) in self.edges() {
@@ -177,6 +184,11 @@ impl Graph {
     /// The `G̃` graph of Theorem 4.3: every vertex receives as many self-loops
     /// as it has neighbours, so a simple walk on the result is exactly the
     /// lazy walk on `self`.
+    ///
+    /// Like [`with_loops_per_vertex`](Graph::with_loops_per_vertex) this
+    /// duplicates the graph's memory; lazy *runs* should prefer
+    /// `WalkKind::Lazy` or [`lazified_view`](Graph::lazified_view), which
+    /// present the identical walk without the copy.
     pub fn lazified(&self) -> Graph {
         let degs: Vec<usize> = self.vertices().map(|v| self.degree(v)).collect();
         self.with_loops_per_vertex(move |v| degs[v as usize])

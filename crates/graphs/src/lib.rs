@@ -6,7 +6,13 @@
 //!
 //! Provides:
 //!
+//! * [`Topology`] — the neighbour-oracle trait every simulator is generic
+//!   over: CSR graphs and closed-form implicit families behind one
+//!   interface,
 //! * [`Graph`] — compact CSR adjacency storage with `u32` vertex ids,
+//! * [`topology`] — zero-allocation implicit families (`Torus2d`, `Cycle`,
+//!   `Path`, `Hypercube`, `Complete`) matching the explicit generators
+//!   neighbour-for-neighbour, plus the [`Lazified`] Theorem 4.3 adapter,
 //! * [`GraphBuilder`] — `O(n + m)` edge-list construction,
 //! * [`generators`] — every graph family in the paper's Table 1 plus all
 //!   counterexample gadgets (lollipop, clique-with-a-hair, tree-with-path, …),
@@ -30,9 +36,11 @@ pub mod builder;
 pub mod families;
 pub mod generators;
 pub mod graph;
+pub mod topology;
 pub mod traversal;
 pub mod walk;
 
 pub use builder::GraphBuilder;
 pub use graph::{Graph, Vertex};
+pub use topology::{Lazified, Topology};
 pub use walk::WalkKind;

@@ -1,0 +1,848 @@
+//! The [`Topology`] trait: graphs as *neighbour oracles* instead of stored
+//! adjacency.
+//!
+//! Every simulator in this workspace interrogates a graph the same way —
+//! "how many neighbours does `v` have, and what is the `i`-th one?" — so
+//! that interface is all the engine actually needs. [`Graph`] answers it
+//! from its CSR arrays; the implicit families in this module ([`Torus2d`],
+//! [`Cycle`], [`Path`], [`Hypercube`], [`Complete`]) answer it with
+//! closed-form index arithmetic and **zero allocation**, which removes the
+//! cache-missing neighbour-array indirection from the hot loop and lifts
+//! the memory ceiling on the Table 1 experiments: a 2000×2000 torus
+//! (`n = 4·10⁶`, the sizes where the Open Problem 1 `log n` factors start
+//! to separate) needs no adjacency storage at all.
+//!
+//! Implicit families enumerate neighbours in **exactly the CSR order of
+//! the corresponding `generators::*` constructor**, so a fixed-seed walk
+//! takes the identical trajectory on either backend — implicit and
+//! explicit runs are sample-for-sample interchangeable, not merely
+//! equidistributed (pinned by `tests/topology_equiv.rs`).
+//!
+//! [`Lazified`] wraps any topology as the paper's `G̃` construction
+//! (Theorem 4.3: one self-loop slot per neighbour slot), replacing the
+//! adjacency-duplicating `Graph::lazified` clone for simulation purposes.
+
+use crate::graph::{Graph, Vertex};
+use rand::{Rng, RngExt};
+
+/// A finite graph presented as a neighbour oracle.
+///
+/// `neighbour(v, i)` for `i < degree(v)` enumerates the adjacency list of
+/// `v`; implementations must present a *stable* order (two calls with the
+/// same arguments agree), and the implicit families in this module match
+/// the CSR order of their explicit [`Graph`] counterparts exactly.
+pub trait Topology {
+    /// Number of vertices.
+    fn n(&self) -> usize;
+
+    /// Degree of `v` (self-loops count once per slot, as in [`Graph`]).
+    fn degree(&self, v: Vertex) -> usize;
+
+    /// The `i`-th neighbour of `v`, for `i < degree(v)`.
+    ///
+    /// # Panics
+    ///
+    /// May panic (or debug-panic) when `i >= degree(v)`.
+    fn neighbour(&self, v: Vertex, i: usize) -> Vertex;
+
+    /// One uniform step of the simple random walk from `v`.
+    ///
+    /// The default draws `i` uniformly from `0..degree(v)` and returns
+    /// `neighbour(v, i)` — implementations overriding this must consume
+    /// the RNG identically (one `random_range(0..degree)`), so that
+    /// trajectories stay backend-independent for a fixed seed.
+    #[inline]
+    fn random_step<R: Rng + ?Sized>(&self, v: Vertex, rng: &mut R) -> Vertex {
+        let d = self.degree(v);
+        debug_assert!(d > 0, "isolated vertex {v}");
+        self.neighbour(v, rng.random_range(0..d))
+    }
+
+    /// Whether every vertex has the same degree. The default scans all
+    /// degrees; structured families answer in `O(1)`.
+    fn is_regular(&self) -> bool {
+        let n = self.n();
+        if n == 0 {
+            return true;
+        }
+        let d0 = self.degree(0);
+        (1..n).all(|v| self.degree(v as Vertex) == d0)
+    }
+
+    /// Maximum degree Δ. The default scans; structured families answer in
+    /// `O(1)`.
+    fn max_degree(&self) -> usize {
+        (0..self.n())
+            .map(|v| self.degree(v as Vertex))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of degrees (`2m` for loop-free graphs) — the stationary-law
+    /// normaliser and the edge-count witness used by the equivalence tests.
+    fn total_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v as Vertex)).sum()
+    }
+}
+
+/// CSR-backed graphs are topologies; this is what keeps every historical
+/// `&Graph` call site compiling against the generic engine.
+impl Topology for Graph {
+    #[inline]
+    fn n(&self) -> usize {
+        Graph::n(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        Graph::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbour(&self, v: Vertex, i: usize) -> Vertex {
+        self.neighbours(v)[i]
+    }
+
+    #[inline]
+    fn random_step<R: Rng + ?Sized>(&self, v: Vertex, rng: &mut R) -> Vertex {
+        let ns = self.neighbours(v);
+        debug_assert!(!ns.is_empty(), "isolated vertex {v}");
+        ns[rng.random_range(0..ns.len())]
+    }
+
+    fn is_regular(&self) -> bool {
+        Graph::is_regular(self)
+    }
+
+    fn max_degree(&self) -> usize {
+        Graph::max_degree(self)
+    }
+
+    fn total_degree(&self) -> usize {
+        Graph::total_degree(self)
+    }
+}
+
+impl<T: Topology + ?Sized> Topology for &T {
+    #[inline]
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        (**self).degree(v)
+    }
+    #[inline]
+    fn neighbour(&self, v: Vertex, i: usize) -> Vertex {
+        (**self).neighbour(v, i)
+    }
+    #[inline]
+    fn random_step<R: Rng + ?Sized>(&self, v: Vertex, rng: &mut R) -> Vertex {
+        (**self).random_step(v, rng)
+    }
+    fn is_regular(&self) -> bool {
+        (**self).is_regular()
+    }
+    fn max_degree(&self) -> usize {
+        (**self).max_degree()
+    }
+    fn total_degree(&self) -> usize {
+        (**self).total_degree()
+    }
+}
+
+/// Implicit cycle `C_n`, matching `generators::cycle(n)` (including the
+/// degenerate `n = 1` self-loop and `n = 2` doubled edge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cycle {
+    n: usize,
+}
+
+impl Cycle {
+    /// Cycle on `n ≥ 1` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "cycle requires at least one vertex");
+        Cycle { n }
+    }
+}
+
+impl Topology for Cycle {
+    #[inline]
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn degree(&self, _v: Vertex) -> usize {
+        if self.n == 1 {
+            1
+        } else {
+            2
+        }
+    }
+
+    #[inline]
+    fn neighbour(&self, v: Vertex, i: usize) -> Vertex {
+        debug_assert!(i < self.degree(v));
+        let n = self.n;
+        match n {
+            1 => 0,
+            2 => 1 - v,
+            // CSR order: vertex 0 lists [1, n-1] (its wrap edge is added
+            // last), every other vertex lists [v-1, v+1 mod n]. `i` is a
+            // fresh random draw in the hot loop, so both selects are
+            // written as branch-free arithmetic (cmov), not jumps.
+            _ if v == 0 => {
+                if i == 0 {
+                    1
+                } else {
+                    (n - 1) as Vertex
+                }
+            }
+            _ => {
+                let w = v - 1 + 2 * i as Vertex;
+                if w as usize == n {
+                    0
+                } else {
+                    w
+                }
+            }
+        }
+    }
+
+    fn is_regular(&self) -> bool {
+        true
+    }
+
+    fn max_degree(&self) -> usize {
+        self.degree(0)
+    }
+
+    fn total_degree(&self) -> usize {
+        self.n * self.degree(0)
+    }
+}
+
+/// Implicit path `P_n`, matching `generators::path(n)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Path {
+    n: usize,
+}
+
+impl Path {
+    /// Path on `n ≥ 1` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "path requires at least one vertex");
+        Path { n }
+    }
+}
+
+impl Topology for Path {
+    #[inline]
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        if self.n == 1 {
+            0
+        } else if v == 0 || v as usize == self.n - 1 {
+            1
+        } else {
+            2
+        }
+    }
+
+    #[inline]
+    fn neighbour(&self, v: Vertex, i: usize) -> Vertex {
+        debug_assert!(i < self.degree(v));
+        if v == 0 {
+            1
+        } else if i == 0 || v as usize == self.n - 1 {
+            // slot 0 is always the left neighbour; the right endpoint has
+            // nothing else
+            v - 1
+        } else {
+            v + 1
+        }
+    }
+
+    fn is_regular(&self) -> bool {
+        self.n <= 2
+    }
+
+    fn max_degree(&self) -> usize {
+        match self.n {
+            1 => 0,
+            2 => 1,
+            _ => 2,
+        }
+    }
+
+    fn total_degree(&self) -> usize {
+        2 * self.n.saturating_sub(1)
+    }
+}
+
+/// Implicit complete graph `K_n`, matching `generators::complete(n)`:
+/// the neighbour list of `v` is `0, …, v-1, v+1, …, n-1` in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Complete {
+    n: usize,
+}
+
+impl Complete {
+    /// Complete graph on `n ≥ 1` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "complete graph requires at least one vertex");
+        Complete { n }
+    }
+}
+
+impl Topology for Complete {
+    #[inline]
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn degree(&self, _v: Vertex) -> usize {
+        self.n - 1
+    }
+
+    #[inline]
+    fn neighbour(&self, v: Vertex, i: usize) -> Vertex {
+        debug_assert!(i < self.degree(v));
+        // skip-over-self, branch-free: `i` is random in the hot loop
+        i as Vertex + (i as Vertex >= v) as Vertex
+    }
+
+    fn is_regular(&self) -> bool {
+        true
+    }
+
+    fn max_degree(&self) -> usize {
+        self.n - 1
+    }
+
+    fn total_degree(&self) -> usize {
+        self.n * (self.n - 1)
+    }
+}
+
+/// Implicit Boolean hypercube `H_{2^k}`, matching
+/// `generators::hypercube(k)`.
+///
+/// The generator inserts edge `{v, v ^ 2^b}` from the smaller endpoint, so
+/// the CSR list of `v` holds the set-bit neighbours first (in *descending*
+/// bit order — ascending source id `v − 2^b`) followed by the clear-bit
+/// neighbours in ascending bit order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hypercube {
+    k: usize,
+}
+
+impl Hypercube {
+    /// `k`-dimensional hypercube, `n = 2^k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k >= 31` (the [`Graph`] generator's id range).
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "hypercube dimension must be positive");
+        assert!(k < 31, "hypercube dimension too large for u32 ids");
+        Hypercube { k }
+    }
+
+    /// Dimension `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Topology for Hypercube {
+    #[inline]
+    fn n(&self) -> usize {
+        1usize << self.k
+    }
+
+    #[inline]
+    fn degree(&self, _v: Vertex) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn neighbour(&self, v: Vertex, i: usize) -> Vertex {
+        debug_assert!(i < self.k);
+        let ones = v.count_ones() as usize;
+        if i < ones {
+            // (i+1)-th set bit from the top
+            let mut seen = 0usize;
+            for b in (0..self.k).rev() {
+                if v >> b & 1 == 1 {
+                    if seen == i {
+                        return v ^ (1 << b);
+                    }
+                    seen += 1;
+                }
+            }
+        } else {
+            let mut left = i - ones;
+            for b in 0..self.k {
+                if v >> b & 1 == 0 {
+                    if left == 0 {
+                        return v ^ (1 << b);
+                    }
+                    left -= 1;
+                }
+            }
+        }
+        unreachable!("neighbour index {i} out of range for hypercube vertex {v}")
+    }
+
+    fn is_regular(&self) -> bool {
+        true
+    }
+
+    fn max_degree(&self) -> usize {
+        self.k
+    }
+
+    fn total_degree(&self) -> usize {
+        self.n() * self.k
+    }
+}
+
+/// Implicit square 2-d torus of side `s`, matching
+/// `generators::grid::torus2d(s)` (sides of length 2 collapse the wrap
+/// edge, exactly as the lattice builder does).
+///
+/// Vertex ids are row-major: `v = row · s + col`. The hot path avoids
+/// hardware division (`v / s` costs more than the CSR lookup it replaces)
+/// via a precomputed Lemire divmod constant, and interior vertices — all
+/// but a `Θ(1/s)` fraction — decode their neighbour branch-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus2d {
+    side: usize,
+    /// `⌈2^64 / side⌉`: the divmod-by-multiplication constant (Lemire,
+    /// "Faster remainder by direct computation", 2019) — exact for all
+    /// `side, v < 2^32`.
+    magic: u64,
+}
+
+impl Torus2d {
+    /// Torus of side `s ≥ 2` (`n = s²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side < 2` or `side²` overflows the `u32` id range.
+    pub fn new(side: usize) -> Self {
+        assert!(side >= 2, "torus side must be at least 2");
+        assert!(
+            side.checked_mul(side)
+                .is_some_and(|n| n <= u32::MAX as usize),
+            "torus side {side} overflows u32 vertex ids"
+        );
+        Torus2d {
+            side,
+            magic: (u64::MAX / side as u64) + 1,
+        }
+    }
+
+    /// Side length `s`.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Side lengths as a dims slice (for `grid::index_of` / shape stats).
+    pub fn dims(&self) -> [usize; 2] {
+        [self.side, self.side]
+    }
+
+    /// Whether `side` divides `v` — Lemire's divisibility test (`v·M mod
+    /// 2^64 < M` with `M = ⌈2^64/side⌉`), exact for `v, side < 2^32`.
+    /// One 64-bit multiply where `v % side == 0` would divide.
+    #[inline]
+    fn divisible(&self, v: u64) -> bool {
+        self.magic.wrapping_mul(v) < self.magic
+    }
+
+    /// Exact `(v / side, v % side)` via two high-multiplications instead
+    /// of a hardware divide.
+    #[inline]
+    fn row_col(&self, v: usize) -> (usize, usize) {
+        let low = self.magic.wrapping_mul(v as u64);
+        let r = (((self.magic as u128) * (v as u128)) >> 64) as usize;
+        let c = (((low as u128) * (self.side as u128)) >> 64) as usize;
+        (r, c)
+    }
+
+    /// The incident arcs of `v = (r, c)` in CSR order.
+    ///
+    /// The lattice builder emits, for each vertex `u` in ascending order
+    /// and each axis in order, the forward edge (`+1`, or the wrap edge
+    /// when `u` sits on the far boundary); counting-sort stability makes
+    /// `v`'s CSR list the arcs `{v, w}` sorted by `(inserting vertex,
+    /// axis)`. The inserting vertex of `v`'s negative-direction arc is the
+    /// neighbour itself, of the positive-direction arc `v` itself.
+    fn arcs(&self, v: usize, r: usize, c: usize) -> ([Vertex; 4], usize) {
+        let s = self.side;
+        // (sort key, neighbour); key = source vertex id · 2 + axis
+        let mut e = [(0u64, 0 as Vertex); 4];
+        let mut len = 0usize;
+        for (axis, x, stride) in [(0u64, r, s), (1u64, c, 1usize)] {
+            if s == 2 {
+                // single edge per axis, inserted by the coordinate-0 endpoint
+                let u = if x == 0 { v + stride } else { v - stride };
+                let src = if x == 0 { v } else { u };
+                e[len] = (((src as u64) << 1) | axis, u as Vertex);
+                len += 1;
+            } else {
+                let u_neg = if x > 0 {
+                    v - stride
+                } else {
+                    v + (s - 1) * stride
+                };
+                e[len] = (((u_neg as u64) << 1) | axis, u_neg as Vertex);
+                len += 1;
+                let u_pos = if x + 1 < s {
+                    v + stride
+                } else {
+                    v - x * stride
+                };
+                e[len] = (((v as u64) << 1) | axis, u_pos as Vertex);
+                len += 1;
+            }
+        }
+        // insertion sort: at most 4 entries
+        for i in 1..len {
+            let mut j = i;
+            while j > 0 && e[j - 1].0 > e[j].0 {
+                e.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+        ([e[0].1, e[1].1, e[2].1, e[3].1], len)
+    }
+}
+
+impl Topology for Torus2d {
+    #[inline]
+    fn n(&self) -> usize {
+        self.side * self.side
+    }
+
+    #[inline]
+    fn degree(&self, _v: Vertex) -> usize {
+        if self.side == 2 {
+            2
+        } else {
+            4
+        }
+    }
+
+    #[inline]
+    fn neighbour(&self, v: Vertex, i: usize) -> Vertex {
+        let s = self.side;
+        let vu = v as usize;
+        // interior ⇔ not in the first/last row (two compares) and not in
+        // the first/last column (two divisibility multiplies) — no
+        // division and no row/column computation on the hot path
+        let interior = vu >= s
+            && vu < s * s - s
+            && !self.divisible(vu as u64)
+            && !self.divisible(vu as u64 + 1);
+        if interior {
+            // fast path — CSR order is [v-s, v-1, v+s, v+1], so
+            // (direction, stride) decode from `i` branch-free (`i` is a
+            // fresh random draw; a jump table here would mispredict)
+            let stride = if i & 1 == 0 { s } else { 1 };
+            let w = if i < 2 { vu - stride } else { vu + stride };
+            return w as Vertex;
+        }
+        let (r, c) = self.row_col(vu);
+        let (ns, len) = self.arcs(vu, r, c);
+        debug_assert!(i < len);
+        ns[i]
+    }
+
+    fn is_regular(&self) -> bool {
+        true
+    }
+
+    fn max_degree(&self) -> usize {
+        self.degree(0)
+    }
+
+    fn total_degree(&self) -> usize {
+        self.n() * self.degree(0)
+    }
+}
+
+/// The Theorem 4.3 `G̃` view of any topology: every vertex receives as many
+/// self-loop slots as it has neighbour slots, so the **simple** walk on
+/// `Lazified(t)` is exactly the **lazy** walk on `t` — without rebuilding
+/// an adjacency the way [`Graph::lazified`] does.
+///
+/// Real neighbours keep the inner order (slots `0..d`); the loop slots
+/// `d..2d` follow, matching where `Graph::lazified` appends them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lazified<T>(pub T);
+
+impl<T: Topology> Topology for Lazified<T> {
+    #[inline]
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        2 * self.0.degree(v)
+    }
+
+    #[inline]
+    fn neighbour(&self, v: Vertex, i: usize) -> Vertex {
+        let d = self.0.degree(v);
+        if i < d {
+            self.0.neighbour(v, i)
+        } else {
+            debug_assert!(i < 2 * d);
+            v
+        }
+    }
+
+    fn is_regular(&self) -> bool {
+        self.0.is_regular()
+    }
+
+    fn max_degree(&self) -> usize {
+        2 * self.0.max_degree()
+    }
+
+    fn total_degree(&self) -> usize {
+        2 * self.0.total_degree()
+    }
+}
+
+/// The implicit families behind one enum, for drivers that pick a backend
+/// at run time (`--topology implicit`). Hot loops that want full
+/// monomorphisation should match on the variant and hand the concrete
+/// type to the engine instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Implicit {
+    /// Implicit path.
+    Path(Path),
+    /// Implicit cycle.
+    Cycle(Cycle),
+    /// Implicit 2-d torus.
+    Torus2d(Torus2d),
+    /// Implicit hypercube.
+    Hypercube(Hypercube),
+    /// Implicit complete graph.
+    Complete(Complete),
+}
+
+macro_rules! implicit_delegate {
+    ($self:ident, $t:ident => $body:expr) => {
+        match $self {
+            Implicit::Path($t) => $body,
+            Implicit::Cycle($t) => $body,
+            Implicit::Torus2d($t) => $body,
+            Implicit::Hypercube($t) => $body,
+            Implicit::Complete($t) => $body,
+        }
+    };
+}
+
+impl Topology for Implicit {
+    #[inline]
+    fn n(&self) -> usize {
+        implicit_delegate!(self, t => t.n())
+    }
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        implicit_delegate!(self, t => t.degree(v))
+    }
+    #[inline]
+    fn neighbour(&self, v: Vertex, i: usize) -> Vertex {
+        implicit_delegate!(self, t => t.neighbour(v, i))
+    }
+    #[inline]
+    fn random_step<R: Rng + ?Sized>(&self, v: Vertex, rng: &mut R) -> Vertex {
+        implicit_delegate!(self, t => t.random_step(v, rng))
+    }
+    fn is_regular(&self) -> bool {
+        implicit_delegate!(self, t => t.is_regular())
+    }
+    fn max_degree(&self) -> usize {
+        implicit_delegate!(self, t => t.max_degree())
+    }
+    fn total_degree(&self) -> usize {
+        implicit_delegate!(self, t => t.total_degree())
+    }
+}
+
+impl Graph {
+    /// Zero-allocation lazy view of this graph: the [`Lazified`] adapter
+    /// over a borrow, presenting the Theorem 4.3 `G̃` without rebuilding
+    /// the adjacency the way [`Graph::lazified`] does. Simulation code
+    /// that only needs the walk semantics should prefer this view (or
+    /// `WalkKind::Lazy` directly); `lazified()` remains for callers that
+    /// need an explicit loop graph, e.g. transition matrices.
+    pub fn lazified_view(&self) -> Lazified<&Graph> {
+        Lazified(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, hypercube, path, torus2d};
+
+    fn assert_matches_graph<T: Topology>(t: &T, g: &Graph) {
+        assert_eq!(t.n(), g.n());
+        assert_eq!(t.total_degree(), g.total_degree());
+        assert_eq!(t.max_degree(), Graph::max_degree(g));
+        assert_eq!(t.is_regular(), Graph::is_regular(g));
+        for v in g.vertices() {
+            assert_eq!(t.degree(v), Graph::degree(g, v), "degree of {v}");
+            let ns: Vec<Vertex> = (0..t.degree(v)).map(|i| t.neighbour(v, i)).collect();
+            assert_eq!(ns.as_slice(), g.neighbours(v), "neighbours of {v}");
+        }
+    }
+
+    #[test]
+    fn cycle_matches_generator() {
+        for n in [1usize, 2, 3, 4, 7, 32] {
+            assert_matches_graph(&Cycle::new(n), &cycle(n));
+        }
+    }
+
+    #[test]
+    fn path_matches_generator() {
+        for n in [1usize, 2, 3, 5, 17] {
+            assert_matches_graph(&Path::new(n), &path(n));
+        }
+    }
+
+    #[test]
+    fn complete_matches_generator() {
+        for n in [1usize, 2, 3, 9, 24] {
+            assert_matches_graph(&Complete::new(n), &complete(n));
+        }
+    }
+
+    #[test]
+    fn hypercube_matches_generator() {
+        for k in 1usize..=6 {
+            assert_matches_graph(&Hypercube::new(k), &hypercube(k));
+        }
+    }
+
+    #[test]
+    fn torus2d_matches_generator() {
+        for s in 2usize..=8 {
+            assert_matches_graph(&Torus2d::new(s), &torus2d(s));
+        }
+    }
+
+    /// Like [`assert_matches_graph`], but insensitive to neighbour order:
+    /// `Graph::lazified` rebuilds its adjacency through `edges()`, which
+    /// re-inserts wrap edges from the smaller endpoint and so permutes
+    /// neighbour lists relative to the original CSR; the [`Lazified`] view
+    /// keeps the original order instead.
+    fn assert_matches_graph_multiset<T: Topology>(t: &T, g: &Graph) {
+        assert_eq!(t.n(), g.n());
+        assert_eq!(t.total_degree(), g.total_degree());
+        assert_eq!(t.is_regular(), Graph::is_regular(g));
+        for v in g.vertices() {
+            assert_eq!(t.degree(v), Graph::degree(g, v), "degree of {v}");
+            let mut ns: Vec<Vertex> = (0..t.degree(v)).map(|i| t.neighbour(v, i)).collect();
+            let mut gs = g.neighbours(v).to_vec();
+            ns.sort_unstable();
+            gs.sort_unstable();
+            assert_eq!(ns, gs, "neighbour multiset of {v}");
+        }
+    }
+
+    #[test]
+    fn lazified_view_matches_lazified_graph() {
+        for s in [2usize, 3, 5] {
+            let g = torus2d(s);
+            assert_matches_graph_multiset(&g.lazified_view(), &g.lazified());
+        }
+        let g = cycle(9);
+        assert_matches_graph_multiset(&g.lazified_view(), &g.lazified());
+        assert_matches_graph_multiset(&Lazified(Cycle::new(9)), &g.lazified());
+    }
+
+    #[test]
+    fn graph_is_its_own_topology() {
+        let g = torus2d(4);
+        assert_matches_graph(&g, &g.clone());
+        // and through a reference (blanket impl)
+        assert_matches_graph(&&g, &g);
+    }
+
+    #[test]
+    fn implicit_enum_delegates() {
+        let imp = Implicit::Torus2d(Torus2d::new(4));
+        assert_matches_graph(&imp, &torus2d(4));
+        assert_eq!(imp.max_degree(), 4);
+        assert!(imp.is_regular());
+    }
+
+    #[test]
+    fn random_step_stays_on_neighbours() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let t = Torus2d::new(5);
+        let g = torus2d(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vertex = 7;
+        for _ in 0..200 {
+            let w = t.random_step(v, &mut rng);
+            assert!(g.has_edge(v, w));
+            v = w;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "side must be at least 2")]
+    fn degenerate_torus_rejected() {
+        let _ = Torus2d::new(1);
+    }
+
+    #[test]
+    fn lemire_divmod_exact() {
+        // the magic-constant divmod must agree with hardware division on
+        // boundary-adjacent values for a spread of sides, including the
+        // largest side the u32 id range admits
+        for side in [2usize, 3, 5, 7, 1000, 4093, 65535] {
+            let t = Torus2d::new(side);
+            let n = side * side;
+            let mut probes = vec![0usize, 1, side - 1, side, side + 1, n / 2, n - 1];
+            for r in [0usize, 1, side / 2, side - 1] {
+                for c in [0usize, 1, side / 2, side - 1] {
+                    probes.push(r * side + c);
+                }
+            }
+            for v in probes {
+                assert_eq!(t.row_col(v), (v / side, v % side), "side {side}, v {v}");
+            }
+        }
+    }
+}

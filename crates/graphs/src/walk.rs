@@ -2,9 +2,13 @@
 //!
 //! Both the Markov-chain toolkit and the dispersion processes step particles
 //! the same way; keeping the primitive next to the graph keeps the hot loop
-//! free of cross-crate indirection.
+//! free of cross-crate indirection. The step is generic over [`Topology`],
+//! so implicit families walk through the same code path as CSR graphs —
+//! with identical RNG consumption, trajectories match across backends for
+//! a fixed seed.
 
-use crate::graph::{Graph, Vertex};
+use crate::graph::Vertex;
+use crate::topology::Topology;
 use rand::{Rng, RngExt};
 
 /// Which walk variant a particle performs.
@@ -30,30 +34,28 @@ impl WalkKind {
     }
 }
 
-/// One step of the walk from `u`.
+/// One step of the walk from `u` on any [`Topology`].
 ///
 /// # Panics
 ///
 /// Debug-panics if `u` has no neighbours.
 #[inline]
-pub fn step<R: Rng + ?Sized>(g: &Graph, kind: WalkKind, u: Vertex, rng: &mut R) -> Vertex {
+pub fn step<T: Topology + ?Sized, R: Rng + ?Sized>(
+    g: &T,
+    kind: WalkKind,
+    u: Vertex,
+    rng: &mut R,
+) -> Vertex {
     match kind {
-        WalkKind::Simple => uniform_neighbour(g, u, rng),
+        WalkKind::Simple => g.random_step(u, rng),
         WalkKind::Lazy => {
             if rng.random::<bool>() {
                 u
             } else {
-                uniform_neighbour(g, u, rng)
+                g.random_step(u, rng)
             }
         }
     }
-}
-
-#[inline]
-fn uniform_neighbour<R: Rng + ?Sized>(g: &Graph, u: Vertex, rng: &mut R) -> Vertex {
-    let ns = g.neighbours(u);
-    debug_assert!(!ns.is_empty(), "isolated vertex {u}");
-    ns[rng.random_range(0..ns.len())]
 }
 
 #[cfg(test)]

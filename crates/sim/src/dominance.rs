@@ -110,8 +110,8 @@ pub struct SeqParReport {
 /// realizations through the shared engine, capturing dispersion time *and*
 /// total steps from the same run (one pass per schedule per trial, no
 /// trajectories), then compares the empirical distributions.
-pub fn seq_par_report(
-    g: &dispersion_graphs::Graph,
+pub fn seq_par_report<T: dispersion_graphs::Topology + Sync + ?Sized>(
+    g: &T,
     origin: dispersion_graphs::Vertex,
     cfg: &dispersion_core::process::ProcessConfig,
     trials: usize,

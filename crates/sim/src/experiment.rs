@@ -8,7 +8,7 @@ use dispersion_core::engine::observer::PhaseTimes;
 use dispersion_core::engine::{self, schedule, EngineConfig, EngineError, FirstVacant};
 use dispersion_core::process::continuous::sample_gamma_int;
 use dispersion_core::process::ProcessConfig;
-use dispersion_graphs::{Graph, Vertex};
+use dispersion_graphs::{Topology, Vertex};
 
 /// Which dispersion process to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -51,6 +51,11 @@ impl Process {
     /// Runs one realization through the engine with the observer `obs`
     /// attached, returning the raw [`engine::EngineOutcome`].
     ///
+    /// Generic over the graph backend: pass a `&Graph` or one of the
+    /// implicit `dispersion_graphs::topology` families — the engine
+    /// monomorphises per backend, so implicit runs never materialise an
+    /// adjacency.
+    ///
     /// This is the composition point: pass `&mut (&mut time, &mut shape)`
     /// to measure several statistics in a single pass.
     ///
@@ -62,9 +67,9 @@ impl Process {
     /// # Errors
     ///
     /// Returns [`EngineError::StepCapExceeded`] when the safety cap fires.
-    pub fn run_observed<O: engine::Observer, R: rand::Rng + ?Sized>(
+    pub fn run_observed<T: Topology + ?Sized, O: engine::Observer, R: rand::Rng + ?Sized>(
         self,
-        g: &Graph,
+        g: &T,
         origin: Vertex,
         cfg: &ProcessConfig,
         obs: &mut O,
@@ -124,9 +129,9 @@ impl Process {
     /// # Errors
     ///
     /// Returns [`EngineError::StepCapExceeded`] when the safety cap fires.
-    pub fn try_dispersion_time<R: rand::Rng + ?Sized>(
+    pub fn try_dispersion_time<T: Topology + ?Sized, R: rand::Rng + ?Sized>(
         self,
-        g: &Graph,
+        g: &T,
         origin: Vertex,
         cfg: &ProcessConfig,
         rng: &mut R,
@@ -145,9 +150,9 @@ impl Process {
     ///
     /// Panics if the step cap fires; use [`Process::try_dispersion_time`]
     /// to handle the cap gracefully at large `n`.
-    pub fn dispersion_time<R: rand::Rng + ?Sized>(
+    pub fn dispersion_time<T: Topology + ?Sized, R: rand::Rng + ?Sized>(
         self,
-        g: &Graph,
+        g: &T,
         origin: Vertex,
         cfg: &ProcessConfig,
         rng: &mut R,
@@ -158,9 +163,10 @@ impl Process {
 }
 
 /// Draws `trials` dispersion-time samples of `process` on `g` from `origin`
-/// across `threads` workers, deterministically in `seed`.
-pub fn dispersion_samples(
-    g: &Graph,
+/// across `threads` workers, deterministically in `seed`. Works on any
+/// `Sync` [`Topology`] backend.
+pub fn dispersion_samples<T: Topology + Sync + ?Sized>(
+    g: &T,
     origin: Vertex,
     process: Process,
     cfg: &ProcessConfig,
@@ -175,8 +181,8 @@ pub fn dispersion_samples(
 
 /// Summary of [`dispersion_samples`].
 #[allow(clippy::too_many_arguments)]
-pub fn estimate_dispersion(
-    g: &Graph,
+pub fn estimate_dispersion<T: Topology + Sync + ?Sized>(
+    g: &T,
     origin: Vertex,
     process: Process,
     cfg: &ProcessConfig,
@@ -192,8 +198,8 @@ pub fn estimate_dispersion(
 /// Draws `trials` samples of the *total* number of steps (all particles),
 /// the quantity that Theorem 4.1 shows is equidistributed between the
 /// sequential and parallel processes.
-pub fn total_steps_samples(
-    g: &Graph,
+pub fn total_steps_samples<T: Topology + Sync + ?Sized>(
+    g: &T,
     origin: Vertex,
     process: Process,
     cfg: &ProcessConfig,
@@ -219,8 +225,8 @@ pub fn total_steps_samples(
 /// particles remain unsettled (`j = 0` is the full dispersion time). The
 /// profile streams out of a [`PhaseTimes`] observer — no trajectories are
 /// stored, so this works at any `n` the simulation itself can reach.
-pub fn phase_time_samples(
-    g: &Graph,
+pub fn phase_time_samples<T: Topology + Sync + ?Sized>(
+    g: &T,
     origin: Vertex,
     cfg: &ProcessConfig,
     trials: usize,
