@@ -4,11 +4,23 @@
 //! `--trials K`, `--seed S`, `--threads T`, `--sizes a,b,c`,
 //! `--format text|csv|json` (`--csv` is shorthand for `--format csv`),
 //! `--topology explicit|implicit` (CSR adjacency vs closed-form neighbour
-//! math for the structured families), plus free positional arguments
-//! interpreted by each binary.
+//! math for the structured families),
+//! `--budget trials:N | ci:REL[,MIN[,MAX]]` (per-cell trial budget for the
+//! spec-driven binaries; `ci:` stops each cell adaptively once its
+//! relative 95% CI half-width reaches `REL`),
+//! `--resume FILE` (NDJSON checkpoint: completed cells are loaded from
+//! `FILE` and skipped, fresh cells are appended to it),
+//! plus free positional arguments interpreted by each binary.
 
 use dispersion_sim::default_threads;
+use dispersion_sim::spec::Budget;
 use dispersion_sim::table::TextTable;
+
+/// Default `min_trials` for `--budget ci:REL` when not given explicitly.
+pub const CI_DEFAULT_MIN_TRIALS: usize = 30;
+
+/// Default `max_trials` for `--budget ci:REL` when not given explicitly.
+pub const CI_DEFAULT_MAX_TRIALS: usize = 10_000;
 
 /// How a binary should serialise its result tables.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -67,6 +79,12 @@ pub struct Options {
     /// explicit request from no request. Single-backend binaries read it
     /// through [`Options::backend_or_explicit`].
     pub backend: Option<Backend>,
+    /// Per-cell trial budget from `--budget`; `None` when not given
+    /// (binaries fall back to `Trials(self.trials)` via
+    /// [`Options::budget_or_trials`]).
+    pub budget: Option<Budget>,
+    /// NDJSON checkpoint path from `--resume`.
+    pub resume: Option<String>,
     /// Positional (non-flag) arguments.
     pub positional: Vec<String>,
 }
@@ -82,6 +100,8 @@ impl Options {
             csv: false,
             format: OutputFormat::Text,
             backend: None,
+            budget: None,
+            resume: None,
             positional: Vec::new(),
         }
     }
@@ -121,6 +141,16 @@ impl Options {
                         other => panic!("--topology must be explicit or implicit, got {other:?}"),
                     });
                 }
+                "--budget" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| panic!("--budget needs a value"));
+                    opts.budget = Some(parse_budget(&v));
+                }
+                "--resume" => {
+                    opts.resume =
+                        Some(it.next().unwrap_or_else(|| panic!("--resume needs a path")));
+                }
                 "--format" => {
                     let v = it
                         .next()
@@ -151,6 +181,13 @@ impl Options {
         self.backend.unwrap_or_default()
     }
 
+    /// The per-cell trial budget: `--budget` when given, otherwise a fixed
+    /// `Trials(self.trials)` (so plain `--trials K` keeps its historical
+    /// meaning in the spec-driven binaries).
+    pub fn budget_or_trials(&self) -> Budget {
+        self.budget.unwrap_or(Budget::Trials(self.trials))
+    }
+
     /// The sizes to use, falling back to `default` when `--sizes` was not
     /// given.
     pub fn sizes_or(&self, default: &[usize]) -> Vec<usize> {
@@ -170,6 +207,50 @@ impl Options {
             OutputFormat::Json => t.to_json_lines(),
         }
     }
+}
+
+/// Parses a `--budget` value: `trials:N` or `ci:REL[,MIN[,MAX]]`.
+fn parse_budget(v: &str) -> Budget {
+    if let Some(n) = v.strip_prefix("trials:") {
+        let n = n
+            .parse()
+            .unwrap_or_else(|_| panic!("--budget trials:N needs an integer, got {n:?}"));
+        return Budget::Trials(n);
+    }
+    if let Some(spec) = v.strip_prefix("ci:") {
+        let mut parts = spec.split(',');
+        let rel: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("--budget ci:REL needs a number, got {spec:?}"));
+        assert!(rel > 0.0, "--budget ci:REL must be positive, got {rel}");
+        let min_trials: usize = match parts.next() {
+            None => CI_DEFAULT_MIN_TRIALS,
+            Some(s) => s
+                .parse()
+                .unwrap_or_else(|_| panic!("bad min trials {s:?} in --budget")),
+        };
+        let max_trials: usize = match parts.next() {
+            None => CI_DEFAULT_MAX_TRIALS.max(min_trials),
+            Some(s) => s
+                .parse()
+                .unwrap_or_else(|_| panic!("bad max trials {s:?} in --budget")),
+        };
+        assert!(
+            min_trials >= 2 && max_trials >= min_trials,
+            "--budget ci needs 2 <= min <= max, got min={min_trials} max={max_trials}"
+        );
+        assert!(
+            parts.next().is_none(),
+            "--budget ci takes at most REL,MIN,MAX"
+        );
+        return Budget::CiHalfWidth {
+            rel,
+            min_trials,
+            max_trials,
+        };
+    }
+    panic!("--budget must be trials:N or ci:REL[,MIN[,MAX]], got {v:?}");
 }
 
 fn expect_num<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, flag: &str) -> T {
@@ -264,6 +345,61 @@ mod tests {
     #[should_panic(expected = "--topology must be")]
     fn bad_topology_panics() {
         let _ = parse(&["--topology", "csr"]);
+    }
+
+    #[test]
+    fn budget_flag_parses() {
+        assert_eq!(parse(&[]).budget, None);
+        assert_eq!(
+            parse(&[]).budget_or_trials(),
+            Budget::Trials(100),
+            "falls back to --trials"
+        );
+        assert_eq!(
+            parse(&["--trials", "7"]).budget_or_trials(),
+            Budget::Trials(7)
+        );
+        assert_eq!(
+            parse(&["--budget", "trials:50"]).budget_or_trials(),
+            Budget::Trials(50)
+        );
+        assert_eq!(
+            parse(&["--budget", "ci:0.02"]).budget_or_trials(),
+            Budget::CiHalfWidth {
+                rel: 0.02,
+                min_trials: CI_DEFAULT_MIN_TRIALS,
+                max_trials: CI_DEFAULT_MAX_TRIALS,
+            }
+        );
+        assert_eq!(
+            parse(&["--budget", "ci:0.05,16,400"]).budget_or_trials(),
+            Budget::CiHalfWidth {
+                rel: 0.05,
+                min_trials: 16,
+                max_trials: 400,
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--budget must be")]
+    fn bad_budget_panics() {
+        let _ = parse(&["--budget", "everything"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 <= min <= max")]
+    fn inverted_ci_budget_panics() {
+        let _ = parse(&["--budget", "ci:0.1,50,10"]);
+    }
+
+    #[test]
+    fn resume_flag_parses() {
+        assert_eq!(parse(&[]).resume, None);
+        assert_eq!(
+            parse(&["--resume", "ck.ndjson"]).resume.as_deref(),
+            Some("ck.ndjson")
+        );
     }
 
     #[test]

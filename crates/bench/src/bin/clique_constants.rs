@@ -3,19 +3,46 @@
 //!
 //! ```text
 //! cargo run -p dispersion-bench --release --bin clique_constants -- [--trials 200]
+//!     [--budget ci:0.01] [--resume FILE]
 //! ```
+//!
+//! A thin spec over the streaming runner: two cells per size (sequential
+//! and parallel), pinned to the pre-runner per-size seeds so a given
+//! `--seed` reproduces the historical estimates. `--budget ci:REL` is the
+//! natural mode here — constants want a target precision, not a trial
+//! count.
 
-use dispersion_bench::Options;
+use dispersion_bench::{report_errors, run_spec, Options};
 use dispersion_bounds::constants::{kappa_cc_default, PI2_OVER_6};
-use dispersion_core::process::ProcessConfig;
-use dispersion_graphs::generators::complete;
-use dispersion_sim::experiment::{estimate_dispersion, Process};
+use dispersion_graphs::families::Family;
+use dispersion_sim::experiment::Process;
+use dispersion_sim::spec::{CellSpec, ExperimentSpec, FamilySpec, Measure};
 use dispersion_sim::table::{fmt_f, TextTable};
 
 fn main() {
     let opts = Options::from_env();
     let sizes = opts.sizes_or(&[128, 256, 512, 1024, 2048, 4096]);
-    let cfg = ProcessConfig::simple();
+    let budget = opts.budget_or_trials();
+
+    let mut spec = ExperimentSpec::new(opts.seed);
+    let rows: Vec<(usize, usize)> = sizes
+        .iter()
+        .enumerate()
+        .map(|(k, &n)| {
+            let fam = FamilySpec::explicit(Family::Complete, n);
+            let seq = spec.push(
+                CellSpec::new(fam.clone(), Measure::Dispersion(Process::Sequential))
+                    .budget(budget)
+                    .master_seed(opts.seed + 2 * k as u64),
+            );
+            let par = spec.push(
+                CellSpec::new(fam, Measure::Dispersion(Process::Parallel))
+                    .budget(budget)
+                    .master_seed(opts.seed + 2 * k as u64 + 1),
+            );
+            (seq, par)
+        })
+        .collect();
 
     println!("# Theorem 5.2: clique constants");
     println!(
@@ -24,35 +51,24 @@ fn main() {
         PI2_OVER_6
     );
 
-    let mut t = TextTable::new(["n", "t_seq/n", "±", "t_par/n", "±", "par/seq"]);
-    for (k, &n) in sizes.iter().enumerate() {
-        let g = complete(n);
-        let seq = estimate_dispersion(
-            &g,
-            0,
-            Process::Sequential,
-            &cfg,
-            opts.trials,
-            opts.threads,
-            opts.seed + 2 * k as u64,
-        );
-        let par = estimate_dispersion(
-            &g,
-            0,
-            Process::Parallel,
-            &cfg,
-            opts.trials,
-            opts.threads,
-            opts.seed + 2 * k as u64 + 1,
-        );
-        let nf = n as f64;
+    let records = run_spec(&opts, &spec);
+
+    let mut t = TextTable::new([
+        "n", "t_seq/n", "±", "tr_seq", "t_par/n", "±", "tr_par", "par/seq",
+    ]);
+    for (seq_id, par_id) in rows {
+        let seq = &records[seq_id];
+        let par = &records[par_id];
+        let nf = seq.n as f64;
         t.push_row([
-            n.to_string(),
-            fmt_f(seq.mean / nf),
-            fmt_f(1.96 * seq.sem / nf),
-            fmt_f(par.mean / nf),
-            fmt_f(1.96 * par.sem / nf),
-            fmt_f(par.mean / seq.mean),
+            seq.n.to_string(),
+            fmt_f(seq.mean("time") / nf),
+            fmt_f(seq.ci95_half("time") / nf),
+            seq.trials.to_string(),
+            fmt_f(par.mean("time") / nf),
+            fmt_f(par.ci95_half("time") / nf),
+            par.trials.to_string(),
+            fmt_f(par.mean("time") / seq.mean("time")),
         ]);
     }
     print!("{}", opts.render(&t));
@@ -60,4 +76,5 @@ fn main() {
         "\npaper: the two constants are distinct (Remark 5.3), ratio {:.3}",
         PI2_OVER_6 / kappa_cc_default()
     );
+    report_errors(&records);
 }

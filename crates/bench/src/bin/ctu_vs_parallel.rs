@@ -3,13 +3,17 @@
 //!
 //! ```text
 //! cargo run -p dispersion-bench --release --bin ctu_vs_parallel -- [--trials 200]
+//!     [--budget ci:0.02] [--resume FILE]
 //! ```
+//!
+//! A thin spec over the streaming runner: two cells per (family, size),
+//! seeded exactly as the pre-runner version so a given `--seed`
+//! reproduces the historical table.
 
-use dispersion_bench::Options;
-use dispersion_core::process::ProcessConfig;
+use dispersion_bench::{report_errors, run_spec, Options};
 use dispersion_graphs::families::Family;
-use dispersion_sim::experiment::{estimate_dispersion, Process};
-use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::experiment::Process;
+use dispersion_sim::spec::{CellSpec, ExperimentSpec, FamilySpec, Measure};
 use dispersion_sim::table::{fmt_f, TextTable};
 
 fn main() {
@@ -20,42 +24,46 @@ fn main() {
         Family::Hypercube,
         Family::RandomRegular(5),
     ];
-    let cfg = ProcessConfig::simple();
+    let budget = opts.budget_or_trials();
 
-    println!("# Theorem 4.8: τ_ctu / τ_par → 1\n");
-    let mut t = TextTable::new(["family", "n", "E[τ_ctu]", "E[τ_par]", "ratio"]);
+    let mut spec = ExperimentSpec::new(opts.seed);
+    let mut rows: Vec<(usize, usize)> = Vec::new();
     for (fk, family) in families.iter().enumerate() {
         for (k, &n) in sizes.iter().enumerate() {
-            let mut grng = Xoshiro256pp::new(opts.seed ^ ((fk * 16 + k) as u64) << 4);
-            let inst = family.instance(n, &mut grng);
+            let fam = FamilySpec::explicit(*family, n)
+                .graph_seed(opts.seed ^ (((fk * 16 + k) as u64) << 4));
             let s0 = opts.seed + (fk * 777 + k * 11) as u64;
-            let ctu = estimate_dispersion(
-                &inst.graph,
-                inst.origin,
-                Process::Ctu,
-                &cfg,
-                opts.trials,
-                opts.threads,
-                s0,
+            let ctu = spec.push(
+                CellSpec::new(fam.clone(), Measure::Dispersion(Process::Ctu))
+                    .budget(budget)
+                    .master_seed(s0),
             );
-            let par = estimate_dispersion(
-                &inst.graph,
-                inst.origin,
-                Process::Parallel,
-                &cfg,
-                opts.trials,
-                opts.threads,
-                s0 + 1,
+            let par = spec.push(
+                CellSpec::new(fam, Measure::Dispersion(Process::Parallel))
+                    .budget(budget)
+                    .master_seed(s0 + 1),
             );
-            t.push_row([
-                inst.label.to_string(),
-                inst.graph.n().to_string(),
-                fmt_f(ctu.mean),
-                fmt_f(par.mean),
-                fmt_f(ctu.mean / par.mean),
-            ]);
+            rows.push((ctu, par));
         }
+    }
+
+    println!("# Theorem 4.8: τ_ctu / τ_par → 1\n");
+    let records = run_spec(&opts, &spec);
+
+    let mut t = TextTable::new(["family", "n", "E[τ_ctu]", "E[τ_par]", "trials", "ratio"]);
+    for (ctu_id, par_id) in rows {
+        let ctu = &records[ctu_id];
+        let par = &records[par_id];
+        t.push_row([
+            ctu.family.clone(),
+            ctu.n.to_string(),
+            fmt_f(ctu.mean("time")),
+            fmt_f(par.mean("time")),
+            format!("{}/{}", ctu.trials, par.trials),
+            fmt_f(ctu.mean("time") / par.mean("time")),
+        ]);
     }
     print!("{}", opts.render(&t));
     println!("\n(ratios should approach 1 as n grows)");
+    report_errors(&records);
 }

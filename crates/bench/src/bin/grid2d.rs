@@ -12,6 +12,7 @@
 //! ```text
 //! cargo run -p dispersion-bench --release --bin grid2d -- [--trials 100]
 //!     [--sizes 500] [--process seq|par|both] [--topology explicit|implicit]
+//!     [--budget ci:0.05] [--resume FILE]
 //! ```
 //!
 //! `--sizes` takes torus side lengths (`--sizes 500` is the 500×500
@@ -27,26 +28,25 @@
 //! exact solver columns need the CSR operators and print `-` in implicit
 //! mode; use an explicit run at the same side to fill them.
 //!
-//! The shape section runs the classical Prop 5.10 object — a sequential
-//! fill with `k = n/2` particles — as one engine pass per trial with three
-//! composed observers (`AggregateShape` ball statistics, `DispersionTime`,
-//! `PhaseTimes`), so nothing is rerun and no trajectory is materialised.
+//! The simulated columns and the Prop 5.10 shape section are cells of one
+//! `ExperimentSpec` executed by the streaming runner: the runner
+//! work-steals across sides, so a slow 500×500 cell no longer serialises
+//! the smaller sides behind it, and `--resume FILE` checkpoints the sweep.
+//! The shape cells stream three composed observers (`AggregateShape` ball
+//! statistics, `DispersionTime`, `PhaseTimes`) through one engine pass per
+//! trial — nothing is rerun and no trajectory is materialised.
 
-use dispersion_bench::{Backend, Options};
-use dispersion_core::engine::observer::{AggregateShape, DispersionTime, PhaseTimes};
-use dispersion_core::engine::{self, schedule, EngineConfig, FirstVacant};
-use dispersion_core::process::ProcessConfig;
+use dispersion_bench::{report_errors, run_spec, Backend, Options};
+use dispersion_graphs::families::Family;
 use dispersion_graphs::generators::grid::{index_of, torus2d};
-use dispersion_graphs::topology;
 use dispersion_graphs::traversal::diameter_bounds;
-use dispersion_graphs::Topology;
 use dispersion_markov::hitting::hitting_times_to_set_with;
 use dispersion_markov::mixing::spectral_gap_with;
 use dispersion_markov::transition::WalkKind;
 use dispersion_markov::Solver;
-use dispersion_sim::experiment::{dispersion_samples, Process};
-use dispersion_sim::parallel::par_trials;
-use dispersion_sim::stats::Summary;
+use dispersion_sim::experiment::Process;
+use dispersion_sim::sink::Record;
+use dispersion_sim::spec::{BackendSpec, Budget, CellSpec, ExperimentSpec, FamilySpec, Measure};
 use dispersion_sim::table::{fmt_f, TextTable};
 
 /// Above this vertex count the simulation trial count is capped (at 2, and
@@ -81,97 +81,11 @@ fn which_process(opts: &Options) -> Which {
     Which::Both
 }
 
-/// The simulated `t_seq`/`t_par` columns on any backend — this is the code
-/// path the implicit topology accelerates.
-#[allow(clippy::too_many_arguments)]
-fn simulate<T: Topology + Sync>(
-    t: &T,
-    origin: u32,
-    which: Which,
-    cfg: &ProcessConfig,
-    trials: usize,
-    opts: &Options,
-    s0: u64,
-    stage: &dyn Fn(&str, std::time::Instant),
-) -> (Option<Summary>, Option<Summary>) {
-    let sample = |process: Process, seed: u64, label: &str| -> Option<Summary> {
-        let wanted = match process {
-            Process::Sequential => which != Which::Par,
-            _ => which != Which::Seq,
-        };
-        if !wanted {
-            return None;
-        }
-        let t0 = std::time::Instant::now();
-        let s = Summary::from_samples(&dispersion_samples(
-            t,
-            origin,
-            process,
-            cfg,
-            trials,
-            opts.threads,
-            seed,
-        ));
-        stage(label, t0);
-        Some(s)
-    };
-    let seq = sample(Process::Sequential, s0, "t_seq simulation");
-    let par = sample(Process::Parallel, s0 + 1, "t_par simulation");
-    (seq, par)
-}
-
-/// One shape-section row: Prop 5.10 half-fill statistics on any backend.
-fn shape_row<T: Topology + Sync>(t: &T, side: usize, opts: &Options, k: usize) -> [String; 8] {
-    let n = t.n();
-    let dims = [side, side];
-    let origin = index_of(&[side / 2, side / 2], &dims);
-    let particles = (n / 2).max(1);
-    let j_half = PhaseTimes::half_index(particles);
-    let cfg = ProcessConfig::simple();
-    type ShapeRow = (f64, f64, f64, f64, f64, f64);
-    let stats: Vec<ShapeRow> = par_trials(
-        opts.trials.min(40),
-        opts.threads,
-        opts.seed + 1000 + k as u64,
-        |_, rng| {
-            let mut shape = AggregateShape::at_counts(origin, &dims, &[particles]);
-            let mut time = DispersionTime::default();
-            // tick clock: per-particle steps are not a shared clock
-            // under the Sequential schedule
-            let mut phases = PhaseTimes::in_ticks(particles);
-            let ecfg = EngineConfig::with_particles(particles, origin, &cfg);
-            engine::run(
-                t,
-                &mut schedule::Sequential::new(),
-                &FirstVacant,
-                &ecfg,
-                &mut (&mut shape, &mut time, &mut phases),
-                rng,
-            )
-            .unwrap_or_else(|e| panic!("{e}"));
-            let s = &shape.snapshots[0].1;
-            (
-                s.inner_radius,
-                s.outer_radius,
-                s.fluctuation(),
-                s.roundness(),
-                time.max_steps as f64,
-                phases.phases[j_half] as f64,
-            )
-        },
-    );
-    let mean = |f: &dyn Fn(&ShapeRow) -> f64| stats.iter().map(f).sum::<f64>() / stats.len() as f64;
-    let ball_r = ((n / 2) as f64 / std::f64::consts::PI).sqrt();
-    [
-        side.to_string(),
-        fmt_f(mean(&|s| s.0)),
-        fmt_f(mean(&|s| s.1)),
-        fmt_f(mean(&|s| s.2)),
-        fmt_f(mean(&|s| s.3)),
-        fmt_f(ball_r),
-        fmt_f(mean(&|s| s.4)),
-        fmt_f(mean(&|s| s.5)),
-    ]
+/// Cell ids of one side's simulated measurements.
+struct SideCells {
+    seq: Option<usize>,
+    par: Option<usize>,
+    shape: Option<usize>,
 }
 
 fn main() {
@@ -183,13 +97,107 @@ fn main() {
     } else {
         opts.sizes.iter().map(|&s| s.max(2)).collect()
     };
-    let cfg = ProcessConfig::simple();
+
+    // the simulated columns + shape section as one spec: legacy per-side
+    // seeds pinned, trial caps applied per side, runner steals across sides
+    let mut spec = ExperimentSpec::new(opts.seed);
+    let mut cells: Vec<SideCells> = Vec::with_capacity(sides.len());
+    let mut shape_k = 0u64;
+    for (k, &side) in sides.iter().enumerate() {
+        let n = side * side;
+        let origin = index_of(&[side / 2, side / 2], &[side, side]);
+        // a simulated fill costs Θ(n²) walker steps, so big sides cap the
+        // per-cell trial count no matter what the budget flags ask for;
+        // an adaptive CI target on a huge side would demand unbounded fills
+        let cap = if n > HUGE_N {
+            1
+        } else if n > LARGE_N {
+            2
+        } else {
+            usize::MAX
+        };
+        let budget = match opts.budget_or_trials() {
+            Budget::Trials(b) => Budget::Trials(b.min(cap)),
+            ci if n <= LARGE_N => ci,
+            _ => Budget::Trials(opts.trials.min(cap)),
+        };
+        let fam = |backend| FamilySpec {
+            family: Family::Torus2d,
+            size: n,
+            backend,
+            graph_seed: 0,
+            origin: Some(origin),
+        };
+        let backend = if implicit {
+            BackendSpec::Implicit
+        } else {
+            BackendSpec::Explicit
+        };
+        let s0 = opts.seed + 10 * k as u64;
+        let seq = (which != Which::Par).then(|| {
+            spec.push(
+                CellSpec::new(fam(backend), Measure::Dispersion(Process::Sequential))
+                    .budget(budget)
+                    .master_seed(s0),
+            )
+        });
+        let par = (which != Which::Seq).then(|| {
+            spec.push(
+                CellSpec::new(fam(backend), Measure::ParallelWithHalf)
+                    .budget(budget)
+                    .master_seed(s0 + 1),
+            )
+        });
+        let shape = (n <= LARGE_N).then(|| {
+            // the shape seed indexes the *filtered* shape list (skipped big
+            // sides don't consume a seed), matching the pre-runner loop
+            let id = spec.push(
+                CellSpec::new(fam(backend), Measure::TorusShapeHalfFill)
+                    .budget(Budget::Trials(opts.trials.min(40)))
+                    .master_seed(opts.seed + 1000 + shape_k),
+            );
+            shape_k += 1;
+            id
+        });
+        cells.push(SideCells { seq, par, shape });
+    }
 
     println!("# Open Problem 1: 2-d torus dispersion between Ω(n log n) and O(n log² n)\n");
     if implicit {
         println!("# topology = implicit: closed-form neighbours, no adjacency materialised;");
         println!("# exact solver columns need CSR operators and are skipped\n");
     }
+
+    // exact quantities through the backend switch: dense LU/Jacobi below
+    // DENSE_LIMIT states, sparse CG/Lanczos beyond — this is what unlocks
+    // side ≥ 500 (explicit mode only: the solvers need the CSR operators)
+    let exacts: Vec<Option<(f64, f64)>> = sides
+        .iter()
+        .map(|&side| {
+            if implicit {
+                return None;
+            }
+            let n = side * side;
+            let origin = index_of(&[side / 2, side / 2], &[side, side]);
+            let g = torus2d(side);
+            // double-sweep bounds are enough for a scale diagnostic and stay
+            // O(m) where the exact diameter would be O(n·m)
+            if let Some((lo, hi)) = diameter_bounds(&g) {
+                eprintln!("# side={side}: n={n}, m={}, diam ∈ [{lo}, {hi}]", g.m());
+            }
+            let thit = hitting_times_to_set_with(&g, WalkKind::Simple, &[origin], Solver::Auto)
+                .into_iter()
+                .fold(0.0f64, f64::max);
+            let gap = spectral_gap_with(&g, WalkKind::Lazy, Solver::Auto);
+            Some((thit, gap))
+        })
+        .collect();
+
+    let records = run_spec(&opts, &spec);
+    let get = |id: Option<usize>| -> Option<&Record> {
+        id.map(|i| &records[i]).filter(|r| r.error.is_none())
+    };
+
     let mut t = TextTable::new([
         "side",
         "n",
@@ -205,64 +213,28 @@ fn main() {
     ]);
     for (k, &side) in sides.iter().enumerate() {
         let n = side * side;
-        let origin = index_of(&[side / 2, side / 2], &[side, side]);
-        // stderr keeps the stdout stream clean for --format csv/json consumers
-        let verbose = n > LARGE_N;
-        let stage = |label: &str, t0: std::time::Instant| {
-            if verbose {
-                eprintln!(
-                    "# side={side}: {label} done in {:.1}s",
-                    t0.elapsed().as_secs_f64()
-                );
-            }
-        };
-        let trials = if n > HUGE_N {
-            opts.trials.min(1)
-        } else if n > LARGE_N {
-            opts.trials.min(2)
-        } else {
-            opts.trials
-        };
-        let s0 = opts.seed + 10 * k as u64;
-        // exact quantities through the backend switch: dense LU/Jacobi
-        // below DENSE_LIMIT states, sparse CG/Lanczos beyond — this is
-        // what unlocks side ≥ 500 (explicit mode only: the solvers need
-        // the CSR operators)
-        let (seq, par, exact) = if implicit {
-            let topo = topology::Torus2d::new(side);
-            let (seq, par) = simulate(&topo, origin, which, &cfg, trials, &opts, s0, &stage);
-            (seq, par, None)
-        } else {
-            let g = torus2d(side);
-            // double-sweep bounds are enough for a scale diagnostic and stay
-            // O(m) where the exact diameter would be O(n·m)
-            if let Some((lo, hi)) = diameter_bounds(&g) {
-                eprintln!("# side={side}: n={n}, m={}, diam ∈ [{lo}, {hi}]", g.m());
-            }
-            let t0 = std::time::Instant::now();
-            let thit = hitting_times_to_set_with(&g, WalkKind::Simple, &[origin], Solver::Auto)
-                .into_iter()
-                .fold(0.0f64, f64::max);
-            stage("t_hit (CG)", t0);
-            let t0 = std::time::Instant::now();
-            let gap = spectral_gap_with(&g, WalkKind::Lazy, Solver::Auto);
-            stage("gap (Lanczos)", t0);
-            let (seq, par) = simulate(&g, origin, which, &cfg, trials, &opts, s0, &stage);
-            (seq, par, Some((thit, gap)))
-        };
         let nf = n as f64;
-        let opt_f = |s: &Option<Summary>| s.as_ref().map_or("-".into(), |s| fmt_f(s.mean));
+        let seq = get(cells[k].seq);
+        let par = get(cells[k].par);
+        let exact = exacts[k];
+        // adaptive budgets can stop the two cells at different counts
+        let trials = match (seq, par) {
+            (Some(s), Some(p)) if s.trials != p.trials => format!("{}/{}", s.trials, p.trials),
+            (Some(r), _) | (None, Some(r)) => r.trials.to_string(),
+            (None, None) => "0".to_string(),
+        };
+        let opt_f = |r: Option<&Record>| r.map_or("-".into(), |r| fmt_f(r.mean("time")));
         let opt_norm =
-            |s: &Option<Summary>, d: f64| s.as_ref().map_or("-".into(), |s| fmt_f(s.mean / d));
+            |r: Option<&Record>, d: f64| r.map_or("-".into(), |r| fmt_f(r.mean("time") / d));
         t.push_row([
             side.to_string(),
             n.to_string(),
             opts.backend_or_explicit().label().to_string(),
-            trials.to_string(),
-            opt_f(&seq),
-            opt_f(&par),
-            opt_norm(&par, nf * nf.ln()),
-            opt_norm(&par, nf * nf.ln() * nf.ln()),
+            trials,
+            opt_f(seq),
+            opt_f(par),
+            opt_norm(par, nf * nf.ln()),
+            opt_norm(par, nf * nf.ln() * nf.ln()),
             exact.map_or("-".into(), |(thit, _)| fmt_f(thit)),
             exact.map_or("-".into(), |(thit, _)| fmt_f(thit / (nf * nf.ln()))),
             // gaps shrink like 1/side²; fmt_f would show 0
@@ -275,19 +247,20 @@ fn main() {
     println!(" t_hit is an exact CG solve; the lazy gap is a deflated-Lanczos estimate)\n");
 
     // aggregate roundness at half fill: the Prop 5.10 mechanism — the
-    // sequential fill with k = n/2 particles, exactly as before the engine
-    // refactor, now streamed by three composed observers in one pass
-    let shape_sides: Vec<usize> = sides
+    // sequential fill with k = n/2 particles, streamed by three composed
+    // observers in one engine pass per trial
+    let shape_rows: Vec<(usize, &Record)> = sides
         .iter()
-        .copied()
-        .filter(|&s| s * s <= LARGE_N)
+        .enumerate()
+        .filter_map(|(k, &side)| get(cells[k].shape).map(|r| (side, r)))
         .collect();
-    if shape_sides.len() < sides.len() {
+    if shape_rows.len() < sides.len() {
         println!(
             "## aggregate shape: skipping sides with n > {LARGE_N} (a half fill is O(n²) steps)"
         );
     }
-    if shape_sides.is_empty() {
+    if shape_rows.is_empty() {
+        report_errors(&records);
         return;
     }
     println!("## aggregate shape at half fill (Prop 5.10: a ball of radius ~√(n/2π)),");
@@ -302,16 +275,23 @@ fn main() {
         "t_fill",
         "half t",
     ]);
-    for (k, &side) in shape_sides.iter().enumerate() {
-        let row = if implicit {
-            shape_row(&topology::Torus2d::new(side), side, &opts, k)
-        } else {
-            shape_row(&torus2d(side), side, &opts, k)
-        };
-        t2.push_row(row);
+    for (side, r) in shape_rows {
+        let n = side * side;
+        let ball_r = ((n / 2) as f64 / std::f64::consts::PI).sqrt();
+        t2.push_row([
+            side.to_string(),
+            fmt_f(r.mean("inner_r")),
+            fmt_f(r.mean("outer_r")),
+            fmt_f(r.mean("fluct")),
+            fmt_f(r.mean("roundness")),
+            fmt_f(ball_r),
+            fmt_f(r.mean("t_fill")),
+            fmt_f(r.mean("half_t")),
+        ]);
     }
     print!("{}", opts.render(&t2));
     println!("\n(shape theorems: fluctuation = O(log r), roundness → 1; t_fill is the");
     println!(" longest walk among the n/2 fill particles, 'half t' the total walk");
     println!(" steps consumed when half of them had settled — one engine pass)");
+    report_errors(&records);
 }

@@ -4,15 +4,26 @@
 //!
 //! ```text
 //! cargo run -p dispersion-bench --release --bin table1 -- [family|all]
-//!     [--sizes 32,64,128] [--trials 100] [--seed 1] [--csv]
+//!     [--sizes 32,64,128] [--trials 100] [--budget ci:0.02] [--seed 1]
+//!     [--resume FILE] [--csv]
 //! ```
 //!
 //! Families: path cycle grid2d grid3d hypercube btree clique expander.
+//!
+//! This binary is a *spec* over the streaming runner: it declares one
+//! `ExperimentSpec` cell per (family, size, process) — pinning the exact
+//! per-sweep seeds the pre-runner version used, so means are unchanged
+//! for a given `--seed` — and the runner schedules every cell across
+//! threads, streams one-pass statistics (no sample vectors), stops cells
+//! adaptively under `--budget ci:REL`, and checkpoints to `--resume FILE`.
 
-use dispersion_bench::sweep::{family_sweep, predicted_shape};
-use dispersion_bench::Options;
+use dispersion_bench::sweep::predicted_shape;
+use dispersion_bench::{report_errors, run_spec, Options};
 use dispersion_graphs::families::Family;
+use dispersion_sim::experiment::Process;
 use dispersion_sim::fit::fit_power;
+use dispersion_sim::sink::Record;
+use dispersion_sim::spec::{CellSpec, ExperimentSpec, FamilySpec, Measure};
 use dispersion_sim::table::{fmt_f, TextTable};
 
 fn family_by_label(label: &str) -> Option<Family> {
@@ -34,6 +45,12 @@ fn default_sizes(family: Family) -> Vec<usize> {
     }
 }
 
+/// One output row: the seq and par cell ids of a (family, size) point.
+struct RowRef {
+    seq: usize,
+    par: usize,
+}
+
 fn main() {
     let opts = Options::from_env();
     let which = opts.positional.first().map(|s| s.as_str()).unwrap_or("all");
@@ -43,56 +60,99 @@ fn main() {
         vec![family_by_label(which)
             .unwrap_or_else(|| panic!("unknown family {which:?}; try one of path cycle grid2d grid3d hypercube btree clique expander"))]
     };
+    let budget = opts.budget_or_trials();
+
+    // one spec for the whole run: cells for every family × size × process,
+    // with the historical per-sweep seeds pinned cell by cell
+    let mut spec = ExperimentSpec::new(opts.seed);
+    let mut plan: Vec<(Family, Vec<RowRef>)> = Vec::new();
+    for &family in &families {
+        let sizes = opts.sizes_or(&default_sizes(family));
+        let mut rows = Vec::with_capacity(sizes.len());
+        for (k, &size) in sizes.iter().enumerate() {
+            let fam = FamilySpec::explicit(family, size)
+                .graph_seed(opts.seed ^ (k as u64).wrapping_mul(0x9E37));
+            let seq = spec.push(
+                CellSpec::new(fam.clone(), Measure::Dispersion(Process::Sequential))
+                    .budget(budget)
+                    .master_seed(opts.seed.wrapping_add(2 * k as u64 + 1)),
+            );
+            let par = spec.push(
+                CellSpec::new(fam, Measure::ParallelWithHalf)
+                    .budget(budget)
+                    .master_seed(opts.seed.wrapping_add(2 * k as u64 + 2)),
+            );
+            rows.push(RowRef { seq, par });
+        }
+        plan.push((family, rows));
+    }
 
     println!("# Table 1 reproduction — dispersion-time columns");
     println!(
-        "# trials = {}, seed = {}, threads = {}\n",
-        opts.trials, opts.seed, opts.threads
+        "# budget = {}, seed = {}, threads = {}\n",
+        budget.label(),
+        opts.seed,
+        opts.threads
     );
 
-    for family in families {
-        let sizes = opts.sizes_or(&default_sizes(family));
-        let pts = family_sweep(family, &sizes, opts.trials, opts.threads, opts.seed);
-        let (shape_label, shape) = predicted_shape(family);
+    let records = run_spec(&opts, &spec);
 
+    for (family, rows) in &plan {
+        let (shape_label, shape) = predicted_shape(*family);
         let mut t = TextTable::new([
             "n",
             "t_seq",
             "±95%",
+            "tr_seq",
             "t_par",
             "±95%",
+            "tr_par",
             "t_half",
             "par/seq",
             "seq/shape",
             "par/shape",
         ]);
-        for p in &pts {
-            let s = shape(p.n as f64);
+        let mut fit_pts: Vec<(f64, f64, f64)> = Vec::new();
+        for row in rows {
+            let seq: &Record = &records[row.seq];
+            let par: &Record = &records[row.par];
+            let n = seq.n.max(par.n);
+            let s = shape(n as f64);
+            let ok = seq.error.is_none() && par.error.is_none();
+            let f = |x: f64| if ok { fmt_f(x) } else { "-".into() };
             t.push_row([
-                p.n.to_string(),
-                fmt_f(p.seq.mean),
-                fmt_f(1.96 * p.seq.sem),
-                fmt_f(p.par.mean),
-                fmt_f(1.96 * p.par.sem),
-                fmt_f(p.half.mean),
-                fmt_f(p.par.mean / p.seq.mean),
-                fmt_f(p.seq.mean / s),
-                fmt_f(p.par.mean / s),
+                n.to_string(),
+                f(seq.mean("time")),
+                f(seq.ci95_half("time")),
+                seq.trials.to_string(),
+                f(par.mean("time")),
+                f(par.ci95_half("time")),
+                par.trials.to_string(),
+                f(par.mean("t_half")),
+                f(par.mean("time") / seq.mean("time")),
+                f(seq.mean("time") / s),
+                f(par.mean("time") / s),
             ]);
+            if ok {
+                fit_pts.push((n as f64, seq.mean("time"), par.mean("time")));
+            }
         }
         println!("## {} — paper predicts Θ({shape_label})", family.label());
         print!("{}", opts.render(&t));
 
-        if pts.len() >= 2 {
-            let ns: Vec<f64> = pts.iter().map(|p| p.n as f64).collect();
-            let seqs: Vec<f64> = pts.iter().map(|p| p.seq.mean).collect();
-            let pars: Vec<f64> = pts.iter().map(|p| p.par.mean).collect();
+        if fit_pts.len() >= 2 {
+            let ns: Vec<f64> = fit_pts.iter().map(|p| p.0).collect();
+            let seqs: Vec<f64> = fit_pts.iter().map(|p| p.1).collect();
+            let pars: Vec<f64> = fit_pts.iter().map(|p| p.2).collect();
             let fs = fit_power(&ns, &seqs);
             let fp = fit_power(&ns, &pars);
             println!(
                 "fit: t_seq ~ n^{:.2} (R²={:.3}), t_par ~ n^{:.2} (R²={:.3})\n",
                 fs.exponent, fs.r2, fp.exponent, fp.r2
             );
+        } else {
+            println!();
         }
     }
+    report_errors(&records);
 }

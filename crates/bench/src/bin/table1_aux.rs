@@ -3,7 +3,8 @@
 //! family at a fixed size.
 //!
 //! ```text
-//! cargo run -p dispersion-bench --release --bin table1_aux -- [--sizes 256] [--trials 50]
+//! cargo run -p dispersion-bench --release --bin table1_aux -- [--sizes 256]
+//!     [--trials 50] [--budget ci:0.05] [--resume FILE]
 //! ```
 //!
 //! Sizes up to 1024 use the dense all-pairs machinery (`O(n³)`), exactly as
@@ -13,16 +14,21 @@
 //! upper bound from the Lanczos relaxation time, and Matthews' bound is
 //! assembled from the sparse `t_hit` — so the old "keep sizes moderate"
 //! guard is gone where the sparse path applies.
+//!
+//! The Monte-Carlo cover column goes through the streaming runner (one
+//! `CoverTime` cell per family, adaptive under `--budget ci:REL`); the
+//! exact columns stay direct solver calls on the same deterministic
+//! instances.
 
-use dispersion_bench::Options;
+use dispersion_bench::{report_errors, run_spec, Options};
 use dispersion_graphs::families::Family;
 use dispersion_markov::cover::matthews_upper_bound;
 use dispersion_markov::hitting::{hitting_times_to_set_with, max_hitting_time};
 use dispersion_markov::mixing::{mixing_time, mixing_time_bounds_with};
 use dispersion_markov::transition::WalkKind;
-use dispersion_markov::walker::mean_cover_time;
 use dispersion_markov::Solver;
 use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::spec::{CellSpec, ExperimentSpec, FamilySpec, Measure};
 use dispersion_sim::table::{fmt_f, TextTable};
 
 /// Largest size still routed through the dense all-pairs path: beyond this
@@ -33,6 +39,7 @@ const DENSE_EXACT_LIMIT: usize = 1024;
 fn main() {
     let opts = Options::from_env();
     let size = opts.sizes_or(&[256])[0];
+    let budget = opts.budget_or_trials();
 
     println!("# Table 1 auxiliary columns (cover / hitting / mixing), n ≈ {size}");
     println!("# paper rows: cover=Θ(n log n) except path/cycle=Θ(n²), 2d-grid=Θ(n log² n)");
@@ -47,10 +54,30 @@ fn main() {
     }
     println!();
 
+    // the simulated cover column: one runner cell per family, sharing the
+    // graph seed with the exact columns below so both see the same instance
+    let mut spec = ExperimentSpec::new(opts.seed);
+    let cover_cells: Vec<usize> = Family::table1()
+        .into_iter()
+        .enumerate()
+        .map(|(fi, family)| {
+            spec.push(
+                CellSpec::new(
+                    FamilySpec::explicit(family, size).graph_seed(opts.seed),
+                    Measure::CoverTime,
+                )
+                .budget(budget)
+                .master_seed((opts.seed ^ 0xC0FE).wrapping_add(fi as u64)),
+            )
+        })
+        .collect();
+    let records = run_spec(&opts, &spec);
+
     let mut t = TextTable::new([
         "family",
         "n",
         "cover(sim)",
+        "trials",
         "Matthews ub",
         "t_hit",
         "t_mix(1/4,lazy)",
@@ -58,7 +85,7 @@ fn main() {
         "thit/n",
     ]);
 
-    for family in Family::table1() {
+    for (fi, family) in Family::table1().into_iter().enumerate() {
         let mut grng = Xoshiro256pp::new(opts.seed);
         let inst = family.instance(size, &mut grng);
         let g = &inst.graph;
@@ -84,13 +111,15 @@ fn main() {
             let tmix = mixing_time_bounds_with(g, WalkKind::Lazy, 0.25, Solver::SparseCg).1;
             (thit, tmix, "-".to_string())
         };
-        let mut crng = Xoshiro256pp::new(opts.seed ^ 0xC0FE);
-        let cover = mean_cover_time(g, WalkKind::Simple, inst.origin, opts.trials, &mut crng);
+        let cell = &records[cover_cells[fi]];
+        debug_assert_eq!(cell.n, n, "runner resolved a different instance");
+        let cover = cell.mean("cover");
         let nf = n as f64;
         t.push_row([
             inst.label.to_string(),
             n.to_string(),
             fmt_f(cover),
+            cell.trials.to_string(),
             matthews,
             fmt_f(thit),
             fmt_f(tmix),
@@ -99,4 +128,5 @@ fn main() {
         ]);
     }
     print!("{}", opts.render(&t));
+    report_errors(&records);
 }

@@ -7,7 +7,8 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod drive;
 pub mod sweep;
 
 pub use args::{Backend, Options, OutputFormat};
-pub use sweep::{family_sweep, SweepPoint};
+pub use drive::{load_checkpoint, report_errors, run_spec};

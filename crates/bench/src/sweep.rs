@@ -1,82 +1,11 @@
-//! Size sweeps of dispersion times over the Table 1 graph families.
+//! Table 1 asymptotic predictions shared by the sweep binaries.
 //!
-//! The parallel column is measured through the engine with a
-//! [`PhaseTimes`] observer attached, so every sweep point also carries the
-//! Theorem 3.3 half-milestone (rounds until at most `n/2` particles remain)
-//! at no extra simulation cost.
+//! The size-sweep execution itself lives in the sim crate's declarative
+//! pipeline now (`ExperimentSpec` → `Runner` → `Sink`); the old
+//! `family_sweep` hand-rolled loop is gone. `table1` builds one spec cell
+//! per (family, size, process) and the runner schedules them all.
 
-use dispersion_core::engine::observer::PhaseTimes;
-use dispersion_core::process::ProcessConfig;
 use dispersion_graphs::families::Family;
-use dispersion_sim::experiment::{dispersion_samples, Process};
-use dispersion_sim::parallel::par_trials;
-use dispersion_sim::rng::Xoshiro256pp;
-use dispersion_sim::stats::Summary;
-
-/// One measured point of a sweep.
-#[derive(Clone, Debug)]
-pub struct SweepPoint {
-    /// Actual instance size (families round the requested size).
-    pub n: usize,
-    /// Sequential dispersion-time summary.
-    pub seq: Summary,
-    /// Parallel dispersion-time summary.
-    pub par: Summary,
-    /// Theorem 3.3 half-milestone summary: rounds until at most `n/2`
-    /// particles remain unsettled (from the same runs as `par`).
-    pub half: Summary,
-}
-
-/// Sweeps a family over `sizes`, measuring `t_seq`, `t_par` and the
-/// half-milestone with `trials` runs each.
-pub fn family_sweep(
-    family: Family,
-    sizes: &[usize],
-    trials: usize,
-    threads: usize,
-    seed: u64,
-) -> Vec<SweepPoint> {
-    let cfg = ProcessConfig::simple();
-    sizes
-        .iter()
-        .enumerate()
-        .map(|(k, &size)| {
-            let mut grng = Xoshiro256pp::new(seed ^ (k as u64).wrapping_mul(0x9E37));
-            let inst = family.instance(size, &mut grng);
-            let n = inst.graph.n();
-            let seq = Summary::from_samples(&dispersion_samples(
-                &inst.graph,
-                inst.origin,
-                Process::Sequential,
-                &cfg,
-                trials,
-                threads,
-                seed.wrapping_add(2 * k as u64 + 1),
-            ));
-            // one engine pass per trial yields dispersion time AND phases
-            let j_half = PhaseTimes::half_index(n);
-            let pairs: Vec<(f64, f64)> = par_trials(
-                trials,
-                threads,
-                seed.wrapping_add(2 * k as u64 + 2),
-                |_, rng| {
-                    let mut phases = PhaseTimes::for_particles(n);
-                    let out = Process::Parallel
-                        .run_observed(&inst.graph, inst.origin, &cfg, &mut phases, rng)
-                        .unwrap_or_else(|e| panic!("{e}"));
-                    (out.dispersion_time() as f64, phases.phases[j_half] as f64)
-                },
-            );
-            let (par_s, half_s): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
-            SweepPoint {
-                n,
-                seq,
-                par: Summary::from_samples(&par_s),
-                half: Summary::from_samples(&half_s),
-            }
-        })
-        .collect()
-}
 
 /// The Table 1 asymptotic prediction for a family, as a human-readable
 /// formula and a shape function `n ↦ predicted order` (unit constant).
@@ -97,36 +26,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sweep_produces_ordered_points() {
-        let pts = family_sweep(Family::Complete, &[32, 64], 40, 2, 5);
-        assert_eq!(pts.len(), 2);
-        assert!(pts[0].n < pts[1].n);
-        // dispersion grows with n
-        assert!(pts[1].seq.mean > pts[0].seq.mean);
-        assert!(pts[1].par.mean > pts[0].par.mean);
-        // Theorem 4.1 ordering in the mean, and the half-milestone cannot
-        // exceed the full dispersion time
-        for p in &pts {
-            assert!(p.par.mean >= 0.9 * p.seq.mean);
-            assert!(p.half.mean <= p.par.mean);
-        }
-    }
-
-    #[test]
     fn predicted_shapes_cover_table1() {
         for f in Family::table1() {
             let (label, shape) = predicted_shape(f);
             assert!(!label.is_empty());
             assert!(shape(100.0) > 0.0);
         }
-    }
-
-    #[test]
-    fn sweep_deterministic() {
-        let a = family_sweep(Family::Cycle, &[16], 30, 1, 9);
-        let b = family_sweep(Family::Cycle, &[16], 30, 4, 9);
-        assert_eq!(a[0].seq.mean, b[0].seq.mean);
-        assert_eq!(a[0].par.mean, b[0].par.mean);
-        assert_eq!(a[0].half.mean, b[0].half.mean);
     }
 }

@@ -2,7 +2,7 @@
 //! variant over many parallel trials, streaming statistics out of the
 //! schedule-generic engine instead of materialising per-run state.
 
-use crate::parallel::{par_samples, par_trials};
+use crate::parallel::par_trials;
 use crate::stats::Summary;
 use dispersion_core::engine::observer::PhaseTimes;
 use dispersion_core::engine::{self, schedule, EngineConfig, EngineError, FirstVacant};
@@ -143,28 +143,44 @@ impl Process {
             Process::Ctu | Process::ContinuousSequential => out.time,
         })
     }
+}
 
-    /// Runs one realization and returns its dispersion time.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the step cap fires; use [`Process::try_dispersion_time`]
-    /// to handle the cap gracefully at large `n`.
-    pub fn dispersion_time<T: Topology + ?Sized, R: rand::Rng + ?Sized>(
-        self,
-        g: &T,
-        origin: Vertex,
-        cfg: &ProcessConfig,
-        rng: &mut R,
-    ) -> f64 {
-        self.try_dispersion_time(g, origin, cfg, rng)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
+/// Turns per-trial results into a `Result` over the whole sample, keeping
+/// the error of the *smallest* trial index so the outcome is deterministic
+/// regardless of thread scheduling.
+fn collect_trials<T>(results: Vec<Result<T, EngineError>>) -> Result<Vec<T>, EngineError> {
+    // results are in trial order already (par_trials merges by index)
+    results.into_iter().collect()
 }
 
 /// Draws `trials` dispersion-time samples of `process` on `g` from `origin`
 /// across `threads` workers, deterministically in `seed`. Works on any
 /// `Sync` [`Topology`] backend.
+///
+/// # Errors
+///
+/// Returns the error of the first (lowest-index) trial whose engine run
+/// exceeded the step cap; no worker thread ever panics mid-trial.
+pub fn try_dispersion_samples<T: Topology + Sync + ?Sized>(
+    g: &T,
+    origin: Vertex,
+    process: Process,
+    cfg: &ProcessConfig,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> Result<Vec<f64>, EngineError> {
+    collect_trials(par_trials(trials, threads, seed, |_, rng| {
+        process.try_dispersion_time(g, origin, cfg, rng)
+    }))
+}
+
+/// Panicking convenience wrapper over [`try_dispersion_samples`].
+///
+/// # Panics
+///
+/// Panics (at the call site, after all trials resolve — never inside a
+/// worker thread) if any trial exceeded the step cap.
 pub fn dispersion_samples<T: Topology + Sync + ?Sized>(
     g: &T,
     origin: Vertex,
@@ -174,12 +190,37 @@ pub fn dispersion_samples<T: Topology + Sync + ?Sized>(
     threads: usize,
     seed: u64,
 ) -> Vec<f64> {
-    par_samples(trials, threads, seed, |_, rng| {
-        process.dispersion_time(g, origin, cfg, rng)
-    })
+    try_dispersion_samples(g, origin, process, cfg, trials, threads, seed)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Summary of [`try_dispersion_samples`].
+///
+/// # Errors
+///
+/// Propagates the first trial's [`EngineError`], like
+/// [`try_dispersion_samples`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_estimate_dispersion<T: Topology + Sync + ?Sized>(
+    g: &T,
+    origin: Vertex,
+    process: Process,
+    cfg: &ProcessConfig,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> Result<Summary, EngineError> {
+    Ok(Summary::from_samples(&try_dispersion_samples(
+        g, origin, process, cfg, trials, threads, seed,
+    )?))
 }
 
 /// Summary of [`dispersion_samples`].
+///
+/// # Panics
+///
+/// Panics if any trial exceeded the step cap; see
+/// [`try_estimate_dispersion`].
 #[allow(clippy::too_many_arguments)]
 pub fn estimate_dispersion<T: Topology + Sync + ?Sized>(
     g: &T,
@@ -190,14 +231,43 @@ pub fn estimate_dispersion<T: Topology + Sync + ?Sized>(
     threads: usize,
     seed: u64,
 ) -> Summary {
-    Summary::from_samples(&dispersion_samples(
-        g, origin, process, cfg, trials, threads, seed,
-    ))
+    try_estimate_dispersion(g, origin, process, cfg, trials, threads, seed)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Draws `trials` samples of the *total* number of steps (all particles),
 /// the quantity that Theorem 4.1 shows is equidistributed between the
 /// sequential and parallel processes.
+///
+/// # Errors
+///
+/// Returns the lowest-index trial's [`EngineError`] instead of panicking
+/// in a worker thread.
+pub fn try_total_steps_samples<T: Topology + Sync + ?Sized>(
+    g: &T,
+    origin: Vertex,
+    process: Process,
+    cfg: &ProcessConfig,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> Result<Vec<f64>, EngineError> {
+    collect_trials(par_trials(trials, threads, seed, |_, rng| {
+        // the continuous clocks do not change the jump sequence, so every
+        // variant's total steps comes straight from its engine outcome
+        let p = match process {
+            Process::ContinuousSequential => Process::Sequential,
+            p => p,
+        };
+        Ok(p.run_observed(g, origin, cfg, &mut (), rng)?.total_steps as f64)
+    }))
+}
+
+/// Panicking convenience wrapper over [`try_total_steps_samples`].
+///
+/// # Panics
+///
+/// Panics if any trial exceeded the step cap.
 pub fn total_steps_samples<T: Topology + Sync + ?Sized>(
     g: &T,
     origin: Vertex,
@@ -207,17 +277,8 @@ pub fn total_steps_samples<T: Topology + Sync + ?Sized>(
     threads: usize,
     seed: u64,
 ) -> Vec<f64> {
-    par_samples(trials, threads, seed, |_, rng| {
-        // the continuous clocks do not change the jump sequence, so every
-        // variant's total steps comes straight from its engine outcome
-        let p = match process {
-            Process::ContinuousSequential => Process::Sequential,
-            p => p,
-        };
-        p.run_observed(g, origin, cfg, &mut (), rng)
-            .unwrap_or_else(|e| panic!("{e}"))
-            .total_steps as f64
-    })
+    try_total_steps_samples(g, origin, process, cfg, trials, threads, seed)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Draws `trials` Theorem 3.3/3.5 phase profiles of the Parallel schedule:
@@ -225,6 +286,31 @@ pub fn total_steps_samples<T: Topology + Sync + ?Sized>(
 /// particles remain unsettled (`j = 0` is the full dispersion time). The
 /// profile streams out of a [`PhaseTimes`] observer — no trajectories are
 /// stored, so this works at any `n` the simulation itself can reach.
+///
+/// # Errors
+///
+/// Returns the lowest-index trial's [`EngineError`] instead of panicking
+/// in a worker thread.
+pub fn try_phase_time_samples<T: Topology + Sync + ?Sized>(
+    g: &T,
+    origin: Vertex,
+    cfg: &ProcessConfig,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> Result<Vec<Vec<u64>>, EngineError> {
+    collect_trials(par_trials(trials, threads, seed, |_, rng| {
+        let mut phases = PhaseTimes::for_particles(g.n());
+        Process::Parallel.run_observed(g, origin, cfg, &mut phases, rng)?;
+        Ok(phases.phases)
+    }))
+}
+
+/// Panicking convenience wrapper over [`try_phase_time_samples`].
+///
+/// # Panics
+///
+/// Panics if any trial exceeded the step cap.
 pub fn phase_time_samples<T: Topology + Sync + ?Sized>(
     g: &T,
     origin: Vertex,
@@ -233,13 +319,7 @@ pub fn phase_time_samples<T: Topology + Sync + ?Sized>(
     threads: usize,
     seed: u64,
 ) -> Vec<Vec<u64>> {
-    par_trials(trials, threads, seed, |_, rng| {
-        let mut phases = PhaseTimes::for_particles(g.n());
-        Process::Parallel
-            .run_observed(g, origin, cfg, &mut phases, rng)
-            .unwrap_or_else(|e| panic!("{e}"));
-        phases.phases
-    })
+    try_phase_time_samples(g, origin, cfg, trials, threads, seed).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Column means of [`phase_time_samples`]: `profile[j]` is the mean round
@@ -338,6 +418,24 @@ mod tests {
             .try_dispersion_time(&g, 0, &cfg, &mut rng)
             .unwrap_err();
         assert!(matches!(err, EngineError::StepCapExceeded { .. }));
+    }
+
+    #[test]
+    fn try_samplers_propagate_cap_instead_of_panicking() {
+        let g = cycle(32);
+        let cfg = ProcessConfig::simple().with_cap(4);
+        assert!(matches!(
+            try_dispersion_samples(&g, 0, Process::Parallel, &cfg, 16, 4, 1),
+            Err(EngineError::StepCapExceeded { .. })
+        ));
+        assert!(try_estimate_dispersion(&g, 0, Process::Parallel, &cfg, 16, 4, 1).is_err());
+        assert!(try_total_steps_samples(&g, 0, Process::Parallel, &cfg, 16, 4, 1).is_err());
+        assert!(try_phase_time_samples(&g, 0, &cfg, 16, 4, 1).is_err());
+        // and a healthy run still succeeds through the same paths
+        let ok =
+            try_dispersion_samples(&g, 0, Process::Parallel, &ProcessConfig::simple(), 8, 2, 1)
+                .unwrap();
+        assert_eq!(ok.len(), 8);
     }
 
     #[test]

@@ -4,12 +4,19 @@
 //!
 //! * [`rng::Xoshiro256pp`] — fast seedable RNG behind the `rand` traits,
 //! * [`parallel::par_trials`] — deterministic trial-level multithreading,
-//! * [`stats::Summary`] — means, CIs, quantiles,
+//! * [`stats::Summary`] / [`stats::Online`] — two-pass and streaming
+//!   one-pass statistics,
 //! * [`dominance`] — KS tests and empirical stochastic-dominance checks
 //!   (the statistics behind the Theorem 4.1 verification),
 //! * [`fit`] — `a·n^b·(ln n)^c` scaling-law fitting for Table 1 shapes,
 //! * [`experiment`] — one-call dispersion-time estimation for any process,
-//! * [`table`] — text/CSV output.
+//! * [`table`] — text/CSV output,
+//! * [`spec`] / [`runner`] / [`sink`] — the declarative experiment
+//!   pipeline: describe a (family × size × schedule) grid once as an
+//!   [`spec::ExperimentSpec`], let the streaming [`runner::Runner`]
+//!   execute it deterministically across threads with adaptive
+//!   trial budgets, and receive [`sink::Record`]s on pluggable
+//!   [`sink::Sink`]s (tables, CSV, NDJSON checkpoints, memory).
 //!
 //! ```
 //! use dispersion_graphs::generators::complete;
@@ -31,10 +38,16 @@ pub mod fit;
 pub mod histogram;
 pub mod parallel;
 pub mod rng;
+pub mod runner;
+pub mod sink;
+pub mod spec;
 pub mod stats;
 pub mod table;
 
 pub use experiment::{dispersion_samples, estimate_dispersion, Process};
 pub use parallel::{default_threads, par_trials};
 pub use rng::Xoshiro256pp;
-pub use stats::Summary;
+pub use runner::Runner;
+pub use sink::{Record, Sink};
+pub use spec::{Budget, CellSpec, ExperimentSpec, FamilySpec, Measure};
+pub use stats::{Online, Summary};

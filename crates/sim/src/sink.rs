@@ -1,0 +1,938 @@
+//! Pluggable result sinks for the streaming runner.
+//!
+//! The [`Runner`](crate::runner::Runner) pushes [`Event`]s — cell
+//! activation, round-boundary progress, and per-cell completion
+//! [`Record`]s — into one [`Sink`]. Sinks compose via [`Fanout`]; the
+//! stock implementations cover the common shapes:
+//!
+//! * [`MemorySink`] — collect records in memory (what the binaries use to
+//!   build their bespoke tables);
+//! * [`NdjsonSink`] — one JSON object per record, streamed as cells
+//!   finish; in *checkpoint* mode it skips records that were resumed from
+//!   an earlier run, so `--resume FILE` can append to the same file it
+//!   loaded;
+//! * [`TextSink`] / [`CsvSink`] — generic long-format tables (one row per
+//!   cell × statistic), rendered on [`Sink::finish`] in cell order.
+//!
+//! Records round-trip through NDJSON *exactly*: floats are serialised with
+//! Rust's shortest-roundtrip formatting and parsed back bit-identically,
+//! which is what makes kill + `--resume` restarts reproduce the
+//! uninterrupted run.
+
+use crate::stats::Online;
+use std::io::Write;
+
+/// Summary of one streamed statistic of a cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatSummary {
+    /// Statistic name (e.g. `"time"`, `"t_half"`).
+    pub name: String,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub var: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl StatSummary {
+    /// Builds a summary from a one-pass accumulator.
+    pub fn from_online(name: &str, o: &Online) -> Self {
+        StatSummary {
+            name: name.to_string(),
+            mean: o.mean(),
+            var: o.var(),
+            min: o.min(),
+            max: o.max(),
+        }
+    }
+}
+
+/// The completed result of one cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Cell id (declaration order in the spec).
+    pub cell: usize,
+    /// Resume fingerprint
+    /// ([`ExperimentSpec::cell_key`](crate::spec::ExperimentSpec::cell_key)).
+    pub key: String,
+    /// Family label.
+    pub family: String,
+    /// Resolved vertex count.
+    pub n: usize,
+    /// Measure label.
+    pub measure: String,
+    /// Backend label (`"explicit"` / `"implicit"`).
+    pub backend: String,
+    /// Trials completed (may undershoot the budget on error cells).
+    pub trials: u64,
+    /// One summary per streamed statistic.
+    pub stats: Vec<StatSummary>,
+    /// Why the cell aborted, when it did.
+    pub error: Option<String>,
+}
+
+impl Record {
+    /// Looks a statistic up by name.
+    pub fn stat(&self, name: &str) -> Option<&StatSummary> {
+        self.stats.iter().find(|s| s.name == name)
+    }
+
+    /// Mean of a named statistic (`NaN` when absent).
+    pub fn mean(&self, name: &str) -> f64 {
+        self.stat(name).map_or(f64::NAN, |s| s.mean)
+    }
+
+    /// Standard error of the mean of a named statistic (`NaN` when
+    /// absent, `0` below two trials).
+    pub fn sem(&self, name: &str) -> f64 {
+        match self.stat(name) {
+            None => f64::NAN,
+            Some(s) if self.trials == 0 => {
+                debug_assert!(s.var == 0.0 || s.var.is_nan());
+                0.0
+            }
+            Some(s) => (s.var / self.trials as f64).sqrt(),
+        }
+    }
+
+    /// Half-width of the 95% CI of a named statistic.
+    pub fn ci95_half(&self, name: &str) -> f64 {
+        1.96 * self.sem(name)
+    }
+
+    /// Serialises to one NDJSON line (no trailing newline). Floats use
+    /// shortest-roundtrip formatting, so [`Record::from_json_line`]
+    /// restores them bit-identically.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(160);
+        s.push_str(&format!(
+            "{{\"cell\":{},\"key\":{},\"family\":{},\"n\":{},\"measure\":{},\"backend\":{},\"trials\":{},\"error\":{},\"stats\":[",
+            self.cell,
+            json_string(&self.key),
+            json_string(&self.family),
+            self.n,
+            json_string(&self.measure),
+            json_string(&self.backend),
+            self.trials,
+            match &self.error {
+                None => "null".to_string(),
+                Some(e) => json_string(e),
+            },
+        ));
+        for (i, st) in self.stats.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"stat\":{},\"mean\":{},\"var\":{},\"min\":{},\"max\":{}}}",
+                json_string(&st.name),
+                json_f64(st.mean),
+                json_f64(st.var),
+                json_f64(st.min),
+                json_f64(st.max),
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parses one NDJSON line produced by [`Record::to_json_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema problem.
+    pub fn from_json_line(line: &str) -> Result<Record, String> {
+        let v = Json::parse(line)?;
+        let obj = v.as_obj().ok_or("record line is not a JSON object")?;
+        let field = |k: &str| -> Result<&Json, String> {
+            obj.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {k:?}"))
+        };
+        let num = |k: &str| -> Result<f64, String> {
+            field(k)?
+                .as_num()
+                .ok_or_else(|| format!("{k:?} not a number"))
+        };
+        let string = |k: &str| -> Result<String, String> {
+            field(k)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{k:?} not a string"))
+        };
+        let stats_json = field("stats")?.as_arr().ok_or("\"stats\" not an array")?;
+        let mut stats = Vec::with_capacity(stats_json.len());
+        for sj in stats_json {
+            let so = sj.as_obj().ok_or("stat entry not an object")?;
+            let sfield = |k: &str| -> Result<f64, String> {
+                so.iter()
+                    .find(|(key, _)| key == k)
+                    .and_then(|(_, v)| v.as_num())
+                    .ok_or_else(|| format!("stat field {k:?} missing or not a number"))
+            };
+            let name = so
+                .iter()
+                .find(|(key, _)| key == "stat")
+                .and_then(|(_, v)| v.as_str())
+                .ok_or("stat entry missing \"stat\" name")?
+                .to_string();
+            stats.push(StatSummary {
+                name,
+                mean: sfield("mean")?,
+                var: sfield("var")?,
+                min: sfield("min")?,
+                max: sfield("max")?,
+            });
+        }
+        let error = match field("error")? {
+            Json::Null => None,
+            Json::Str(s) => Some(s.clone()),
+            _ => return Err("\"error\" must be null or a string".into()),
+        };
+        Ok(Record {
+            cell: num("cell")? as usize,
+            key: string("key")?,
+            family: string("family")?,
+            n: num("n")? as usize,
+            measure: string("measure")?,
+            backend: string("backend")?,
+            trials: num("trials")? as u64,
+            stats,
+            error,
+        })
+    }
+}
+
+/// Serialises an f64 as a JSON-compatible token with exact roundtrip;
+/// non-finite values (possible in min/max of empty error cells) are
+/// encoded as strings the parser maps back.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else if x.is_nan() {
+        "\"nan\"".to_string()
+    } else if x > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+/// JSON-escapes a string, including the surrounding quotes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value for parsing checkpoint lines — just what
+/// [`Record::from_json_line`] needs, no external dependency.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (as f64; also decodes `"nan"`/`"inf"` markers via
+    /// [`Json::as_num`] on strings).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            // non-finite floats travel as marker strings
+            Json::Str(s) => match s.as_str() {
+                "nan" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Parses a complete JSON document (rejecting trailing garbage).
+    fn parse(s: &str) -> Result<Json, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut obj = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(obj));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                obj.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(obj));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'n') => expect_lit(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect_lit(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect_lit(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let tok = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            tok.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {tok:?} at byte {start}"))
+        }
+    }
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected {lit:?} at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = parse_hex4(b, pos)?;
+                        if (0xD800..0xDC00).contains(&hex) {
+                            // high surrogate: a \uXXXX low surrogate must follow
+                            if b.get(*pos) == Some(&b'\\') && b.get(*pos + 1) == Some(&b'u') {
+                                *pos += 2;
+                                let lo = parse_hex4(b, pos)?;
+                                let c = 0x10000 + ((hex - 0xD800) << 10) + (lo - 0xDC00);
+                                out.push(char::from_u32(c).ok_or("bad surrogate pair")?);
+                            } else {
+                                return Err("lone high surrogate".into());
+                            }
+                        } else {
+                            out.push(char::from_u32(hex).ok_or("bad \\u escape")?);
+                        }
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                }
+            }
+            Some(_) => {
+                // consume one UTF-8 scalar
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let end = *pos + 4;
+    let hex = b
+        .get(*pos..end)
+        .and_then(|s| std::str::from_utf8(s).ok())
+        .ok_or("truncated \\u escape")?;
+    let v = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape {hex:?}"))?;
+    *pos = end;
+    Ok(v)
+}
+
+/// Reads all records from NDJSON text, skipping blank lines.
+///
+/// # Errors
+///
+/// Returns the first malformed line's error, tagged with its line number.
+pub fn parse_ndjson(text: &str) -> Result<Vec<Record>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| Record::from_json_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// A streamed runner event.
+#[derive(Clone, Debug)]
+pub enum Event<'a> {
+    /// A cell was activated (its instance resolved, trials starting).
+    Started {
+        /// Cell id.
+        cell: usize,
+        /// The cell's fingerprint key.
+        key: &'a str,
+    },
+    /// An adaptive cell finished a round without meeting its budget yet.
+    Progress {
+        /// Cell id.
+        cell: usize,
+        /// Trials completed so far.
+        trials_done: u64,
+        /// Current relative CI half-width of the primary statistic.
+        relative_ci: f64,
+    },
+    /// A cell completed (successfully or with an error record).
+    Done {
+        /// The completed record.
+        record: &'a Record,
+        /// Whether it was restored from a checkpoint rather than run.
+        resumed: bool,
+    },
+}
+
+/// Receives streamed events from the runner. Implementations must be
+/// `Send`: the runner's worker threads emit events under an internal lock.
+pub trait Sink: Send {
+    /// Handles one event.
+    fn on_event(&mut self, event: &Event);
+
+    /// Called once after every cell has completed.
+    fn finish(&mut self) {}
+}
+
+/// Collects records (and counts the other events) in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Completed records, sorted by cell id at [`Sink::finish`].
+    pub records: Vec<Record>,
+    /// Number of `Started` events seen.
+    pub started: usize,
+    /// Number of `Progress` events seen.
+    pub progress: usize,
+    /// Number of resumed records among `records`.
+    pub resumed: usize,
+}
+
+impl Sink for MemorySink {
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::Started { .. } => self.started += 1,
+            Event::Progress { .. } => self.progress += 1,
+            Event::Done { record, resumed } => {
+                self.records.push((*record).clone());
+                if *resumed {
+                    self.resumed += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        self.records.sort_by_key(|r| r.cell);
+    }
+}
+
+/// Streams records as NDJSON lines, flushing after each one (so a killed
+/// run leaves a usable checkpoint).
+pub struct NdjsonSink<W: Write + Send> {
+    w: W,
+    include_resumed: bool,
+}
+
+impl<W: Write + Send> NdjsonSink<W> {
+    /// Writes every completed record (output mode).
+    pub fn new(w: W) -> Self {
+        NdjsonSink {
+            w,
+            include_resumed: true,
+        }
+    }
+
+    /// Writes only freshly computed records (checkpoint mode: resumed
+    /// records are already in the file being appended to).
+    pub fn checkpoint(w: W) -> Self {
+        NdjsonSink {
+            w,
+            include_resumed: false,
+        }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write + Send> Sink for NdjsonSink<W> {
+    fn on_event(&mut self, event: &Event) {
+        if let Event::Done { record, resumed } = event {
+            if *resumed && !self.include_resumed {
+                return;
+            }
+            // checkpoint durability beats raw throughput here: records are
+            // rare (one per cell), so write + flush each line
+            let _ = writeln!(self.w, "{}", record.to_json_line());
+            let _ = self.w.flush();
+        }
+    }
+
+    fn finish(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// Builds the generic long-format table (one row per cell × statistic).
+fn long_table(records: &[Record]) -> crate::table::TextTable {
+    let mut t = crate::table::TextTable::new([
+        "cell", "family", "n", "measure", "backend", "trials", "stat", "mean", "sem", "ci95",
+        "min", "max", "error",
+    ]);
+    let mut sorted: Vec<&Record> = records.iter().collect();
+    sorted.sort_by_key(|r| r.cell);
+    for r in sorted {
+        let err = r.error.clone().unwrap_or_default();
+        if r.stats.is_empty() {
+            t.push_row([
+                r.cell.to_string(),
+                r.family.clone(),
+                r.n.to_string(),
+                r.measure.clone(),
+                r.backend.clone(),
+                r.trials.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                err.clone(),
+            ]);
+            continue;
+        }
+        for s in &r.stats {
+            t.push_row([
+                r.cell.to_string(),
+                r.family.clone(),
+                r.n.to_string(),
+                r.measure.clone(),
+                r.backend.clone(),
+                r.trials.to_string(),
+                s.name.clone(),
+                crate::table::fmt_f(s.mean),
+                crate::table::fmt_f(r.sem(&s.name)),
+                crate::table::fmt_f(r.ci95_half(&s.name)),
+                crate::table::fmt_f(s.min),
+                crate::table::fmt_f(s.max),
+                err.clone(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Renders the generic long-format table as aligned text on `finish`.
+pub struct TextSink<W: Write + Send> {
+    w: W,
+    records: Vec<Record>,
+}
+
+impl<W: Write + Send> TextSink<W> {
+    /// A text sink writing to `w`.
+    pub fn new(w: W) -> Self {
+        TextSink {
+            w,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write + Send> Sink for TextSink<W> {
+    fn on_event(&mut self, event: &Event) {
+        if let Event::Done { record, .. } = event {
+            self.records.push((*record).clone());
+        }
+    }
+
+    fn finish(&mut self) {
+        let _ = write!(self.w, "{}", long_table(&self.records).render());
+        let _ = self.w.flush();
+    }
+}
+
+/// Renders the generic long-format table as CSV on `finish`.
+pub struct CsvSink<W: Write + Send> {
+    w: W,
+    records: Vec<Record>,
+}
+
+impl<W: Write + Send> CsvSink<W> {
+    /// A CSV sink writing to `w`.
+    pub fn new(w: W) -> Self {
+        CsvSink {
+            w,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write + Send> Sink for CsvSink<W> {
+    fn on_event(&mut self, event: &Event) {
+        if let Event::Done { record, .. } = event {
+            self.records.push((*record).clone());
+        }
+    }
+
+    fn finish(&mut self) {
+        let _ = write!(self.w, "{}", long_table(&self.records).to_csv());
+        let _ = self.w.flush();
+    }
+}
+
+/// Broadcasts every event to several sinks.
+#[derive(Default)]
+pub struct Fanout {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl Fanout {
+    /// An empty fanout (a valid no-op sink).
+    pub fn new() -> Self {
+        Fanout::default()
+    }
+
+    /// Adds a sink.
+    pub fn push(&mut self, sink: Box<dyn Sink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Builder-style [`Fanout::push`].
+    #[must_use]
+    pub fn with(mut self, sink: Box<dyn Sink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl Sink for Fanout {
+    fn on_event(&mut self, event: &Event) {
+        for s in &mut self.sinks {
+            s.on_event(event);
+        }
+    }
+
+    fn finish(&mut self) {
+        for s in &mut self.sinks {
+            s.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> Record {
+        Record {
+            cell: 3,
+            key: "cycle:n32:seq:explicit:t100:m2a:g0".into(),
+            family: "cycle".into(),
+            n: 32,
+            measure: "seq".into(),
+            backend: "explicit".into(),
+            trials: 100,
+            stats: vec![
+                StatSummary {
+                    name: "time".into(),
+                    mean: 462.512_345_678_901,
+                    var: 0.1 + 0.2, // deliberately non-representable
+                    min: 101.0,
+                    max: 903.0,
+                },
+                StatSummary {
+                    name: "t_half".into(),
+                    mean: 30.5,
+                    var: 2.25,
+                    min: 21.0,
+                    max: 44.0,
+                },
+            ],
+            error: None,
+        }
+    }
+
+    #[test]
+    fn record_json_roundtrip_is_exact() {
+        let r = sample_record();
+        let line = r.to_json_line();
+        let back = Record::from_json_line(&line).unwrap();
+        assert_eq!(back, r);
+        // and a second roundtrip is stable
+        assert_eq!(back.to_json_line(), line);
+    }
+
+    #[test]
+    fn record_json_roundtrip_with_error_and_weird_strings() {
+        let mut r = sample_record();
+        r.error = Some("parallel run exceeded step cap 4 with 3 \"particles\"\nunsettled".into());
+        r.key = "weird\\key\twith\u{1F980}unicode".into();
+        r.stats.clear();
+        r.trials = 0;
+        let back = Record::from_json_line(&r.to_json_line()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip() {
+        let mut r = sample_record();
+        r.stats[0].min = f64::INFINITY;
+        r.stats[0].max = f64::NEG_INFINITY;
+        let back = Record::from_json_line(&r.to_json_line()).unwrap();
+        assert_eq!(back.stats[0].min, f64::INFINITY);
+        assert_eq!(back.stats[0].max, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn parse_ndjson_reports_line_numbers() {
+        let r = sample_record();
+        let good = format!("{}\n\n{}\n", r.to_json_line(), r.to_json_line());
+        assert_eq!(parse_ndjson(&good).unwrap().len(), 2);
+        let bad = format!("{}\nnot json\n", r.to_json_line());
+        let err = parse_ndjson(&bad).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn record_sem_and_ci() {
+        let r = sample_record();
+        let sem = (r.stats[1].var / 100.0f64).sqrt();
+        assert!((r.sem("t_half") - sem).abs() < 1e-15);
+        assert!((r.ci95_half("t_half") - 1.96 * sem).abs() < 1e-15);
+        assert!(r.sem("nope").is_nan());
+        assert!(r.mean("nope").is_nan());
+    }
+
+    #[test]
+    fn ndjson_sink_checkpoint_mode_skips_resumed() {
+        let r = sample_record();
+        let mut out = NdjsonSink::checkpoint(Vec::new());
+        out.on_event(&Event::Done {
+            record: &r,
+            resumed: true,
+        });
+        out.on_event(&Event::Done {
+            record: &r,
+            resumed: false,
+        });
+        out.finish();
+        let text = String::from_utf8(out.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let mut all = NdjsonSink::new(Vec::new());
+        all.on_event(&Event::Done {
+            record: &r,
+            resumed: true,
+        });
+        all.finish();
+        assert_eq!(
+            String::from_utf8(all.into_inner()).unwrap().lines().count(),
+            1
+        );
+    }
+
+    #[test]
+    fn memory_sink_sorts_and_counts() {
+        let mut r1 = sample_record();
+        r1.cell = 7;
+        let r2 = sample_record();
+        let mut m = MemorySink::default();
+        m.on_event(&Event::Started { cell: 3, key: "k" });
+        m.on_event(&Event::Progress {
+            cell: 3,
+            trials_done: 30,
+            relative_ci: 0.1,
+        });
+        m.on_event(&Event::Done {
+            record: &r1,
+            resumed: true,
+        });
+        m.on_event(&Event::Done {
+            record: &r2,
+            resumed: false,
+        });
+        m.finish();
+        assert_eq!(m.started, 1);
+        assert_eq!(m.progress, 1);
+        assert_eq!(m.resumed, 1);
+        assert_eq!(m.records[0].cell, 3);
+        assert_eq!(m.records[1].cell, 7);
+    }
+
+    #[test]
+    fn text_and_csv_sinks_render_long_format() {
+        let r = sample_record();
+        let mut t = TextSink::new(Vec::new());
+        t.on_event(&Event::Done {
+            record: &r,
+            resumed: false,
+        });
+        t.finish();
+        let text = String::from_utf8(t.w).unwrap();
+        assert!(text.contains("t_half"), "{text}");
+        let mut c = CsvSink::new(Vec::new());
+        c.on_event(&Event::Done {
+            record: &r,
+            resumed: false,
+        });
+        c.finish();
+        let csv = String::from_utf8(c.w).unwrap();
+        assert!(csv.starts_with("cell,family,n,"), "{csv}");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn fanout_broadcasts() {
+        let r = sample_record();
+        let mut f = Fanout::new()
+            .with(Box::new(MemorySink::default()))
+            .with(Box::new(MemorySink::default()));
+        f.on_event(&Event::Done {
+            record: &r,
+            resumed: false,
+        });
+        f.finish();
+        // both swallowed the record without panicking; Fanout is opaque, so
+        // just assert the call path ran
+        f.push(Box::new(MemorySink::default()));
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("123 junk").is_err());
+        assert!(Json::parse("\"\\q\"").is_err());
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(
+            Json::parse(" {\"a\": [1, \"\\u00e9\\ud83e\\udd80\"]} ").unwrap(),
+            Json::Obj(vec![(
+                "a".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Str("é🦀".into())])
+            )])
+        );
+    }
+}

@@ -1,4 +1,144 @@
 //! Summary statistics for Monte-Carlo samples.
+//!
+//! Two estimators live here:
+//!
+//! * [`Summary`] — the classical two-pass batch summary over a materialised
+//!   sample slice (kept for call sites that already hold the samples, and as
+//!   the reference implementation the one-pass estimator is property-tested
+//!   against);
+//! * [`Online`] — a one-pass Welford accumulator with Chan-style merging,
+//!   used by the streaming [`runner`](crate::runner) so no sample vector is
+//!   ever materialised, no matter how many trials a cell runs.
+
+/// One-pass running moments (Welford's algorithm) with min/max tracking and
+/// Chan's parallel merge rule.
+///
+/// Numerically this matches the two-pass [`Summary`] to ≈1e-12 relative
+/// error (see `tests/online_stats.rs`), but note that *merging is not
+/// floating-point associative*: callers that need bit-identical results
+/// across thread counts must merge partials in a deterministic order, as
+/// the runner does (fixed chunk boundaries, merged in chunk order).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Online {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Online {
+    fn default() -> Self {
+        Online::new()
+    }
+}
+
+impl Online {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Online {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation in.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator in (Chan et al.'s pairwise update).
+    pub fn merge(&mut self, other: &Online) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observation has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Running mean (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`0` below two observations).
+    pub fn var(&self) -> f64 {
+        if self.count > 1 {
+            self.m2 / (self.count - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.var().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of the 95% normal-approximation CI for the mean.
+    pub fn ci95_half(&self) -> f64 {
+        1.96 * self.sem()
+    }
+
+    /// Relative half-width of the 95% CI (`1.96·sem / |mean|`); `inf` for a
+    /// zero mean or an empty accumulator.
+    pub fn relative_ci(&self) -> f64 {
+        if self.mean == 0.0 || self.count == 0 {
+            f64::INFINITY
+        } else {
+            self.ci95_half() / self.mean.abs()
+        }
+    }
+}
 
 /// Summary of a sample: moments, a normal-approximation confidence interval,
 /// and order statistics.
@@ -153,5 +293,68 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_rejected() {
         let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn online_matches_two_pass_on_known_sample() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let mut o = Online::new();
+        for &x in &xs {
+            o.push(x);
+        }
+        let s = Summary::from_samples(&xs);
+        assert_eq!(o.count(), 4);
+        assert_eq!(o.mean(), s.mean);
+        assert!((o.var() - s.var).abs() < 1e-14);
+        assert_eq!(o.min(), s.min);
+        assert_eq!(o.max(), s.max);
+        assert!((o.sem() - s.sem).abs() < 1e-14);
+    }
+
+    #[test]
+    fn online_merge_agrees_with_single_stream() {
+        let xs: Vec<f64> = (0..100).map(|i| ((i * 37) % 13) as f64 - 6.0).collect();
+        let mut whole = Online::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (a, b) = xs.split_at(33);
+        let mut left = Online::new();
+        let mut right = Online::new();
+        a.iter().for_each(|&x| left.push(x));
+        b.iter().for_each(|&x| right.push(x));
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.var() - whole.var()).abs() < 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn online_merge_empty_identity() {
+        let mut o = Online::new();
+        o.push(5.0);
+        o.push(7.0);
+        let snapshot = o;
+        o.merge(&Online::new());
+        assert_eq!(o, snapshot);
+        let mut e = Online::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+    }
+
+    #[test]
+    fn online_empty_and_single() {
+        let o = Online::new();
+        assert!(o.is_empty());
+        assert_eq!(o.sem(), 0.0);
+        assert_eq!(o.relative_ci(), f64::INFINITY);
+        let mut one = Online::new();
+        one.push(7.0);
+        assert_eq!(one.mean(), 7.0);
+        assert_eq!(one.var(), 0.0);
+        assert_eq!(one.ci95_half(), 0.0);
+        assert_eq!(one.relative_ci(), 0.0);
     }
 }

@@ -1,0 +1,97 @@
+//! Property tests pinning the one-pass `stats::Online` estimator to the
+//! two-pass `stats::Summary` reference: mean, variance and CI agree to
+//! ≤ 1e-12 relative error on random streams, including merges of
+//! per-thread-style partials and the runner's fixed-chunk merge order.
+
+use dispersion_sim::runner::CHUNK;
+use dispersion_sim::stats::{Online, Summary};
+use proptest::prelude::*;
+
+/// Strategy: a non-empty sample of plausible dispersion-time magnitudes
+/// (positive, spanning several orders of magnitude like real cells do).
+fn sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1e9, 1..300)
+}
+
+/// |a - b| relative to the larger magnitude (absolute below 1).
+fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+}
+
+fn push_all(xs: &[f64]) -> Online {
+    let mut o = Online::new();
+    for &x in xs {
+        o.push(x);
+    }
+    o
+}
+
+proptest! {
+    #[test]
+    fn online_matches_two_pass(xs in sample()) {
+        let o = push_all(&xs);
+        let s = Summary::from_samples(&xs);
+        prop_assert_eq!(o.count() as usize, s.n);
+        prop_assert!(rel_err(o.mean(), s.mean) <= 1e-12, "mean {} vs {}", o.mean(), s.mean);
+        prop_assert!(rel_err(o.var(), s.var) <= 1e-12, "var {} vs {}", o.var(), s.var);
+        prop_assert!(rel_err(o.sem(), s.sem) <= 1e-12, "sem {} vs {}", o.sem(), s.sem);
+        prop_assert!(rel_err(o.ci95_half(), 1.96 * s.sem) <= 1e-12);
+        prop_assert_eq!(o.min(), s.min);
+        prop_assert_eq!(o.max(), s.max);
+    }
+
+    #[test]
+    fn split_merge_matches_two_pass(xs in sample(), cut_frac in 0.0f64..1.0) {
+        // merge of two per-thread partials at an arbitrary split point
+        let cut = ((xs.len() as f64 * cut_frac) as usize).min(xs.len());
+        let mut left = push_all(&xs[..cut]);
+        let right = push_all(&xs[cut..]);
+        left.merge(&right);
+        let s = Summary::from_samples(&xs);
+        prop_assert_eq!(left.count() as usize, s.n);
+        prop_assert!(rel_err(left.mean(), s.mean) <= 1e-12);
+        prop_assert!(rel_err(left.var(), s.var) <= 1e-12);
+        prop_assert_eq!(left.min(), s.min);
+        prop_assert_eq!(left.max(), s.max);
+    }
+
+    #[test]
+    fn chunked_merge_matches_two_pass(xs in sample()) {
+        // the runner's exact reduction: fixed CHUNK boundaries, chunk
+        // accumulators merged in chunk order
+        let mut merged = Online::new();
+        for chunk in xs.chunks(CHUNK) {
+            merged.merge(&push_all(chunk));
+        }
+        let s = Summary::from_samples(&xs);
+        prop_assert!(rel_err(merged.mean(), s.mean) <= 1e-12);
+        prop_assert!(rel_err(merged.var(), s.var) <= 1e-12);
+        prop_assert!(rel_err(merged.sem(), s.sem) <= 1e-12);
+    }
+
+    #[test]
+    fn chunked_merge_is_deterministic(xs in sample()) {
+        // same chunking twice → bit-identical accumulator (the property
+        // the runner's cross-thread determinism rests on)
+        let reduce = |xs: &[f64]| {
+            let mut m = Online::new();
+            for chunk in xs.chunks(CHUNK) {
+                m.merge(&push_all(chunk));
+            }
+            m
+        };
+        let a = reduce(&xs);
+        let b = reduce(&xs);
+        prop_assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        prop_assert_eq!(a.var().to_bits(), b.var().to_bits());
+    }
+
+    #[test]
+    fn relative_ci_consistent(xs in sample()) {
+        let o = push_all(&xs);
+        let s = Summary::from_samples(&xs);
+        if s.mean != 0.0 {
+            prop_assert!(rel_err(o.relative_ci(), s.relative_ci()) <= 1e-12);
+        }
+    }
+}
