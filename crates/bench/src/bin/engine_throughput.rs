@@ -12,9 +12,16 @@
 //!     [--schedules seq,par,unif,ctu] [clique|cycle|...]
 //! ```
 //!
-//! `--schedules` restricts the schedule rows — the Uniform schedule burns
-//! `Θ(n · t_par)` no-op ticks, so large-`n` sections keep to the
-//! walk-bound schedules (`--schedules seq,par,ctu`).
+//! `--schedules` restricts the schedule rows. Every schedule is now
+//! walk-bound: the event-driven Uniform schedule *samples* its
+//! `Θ(n · t_par)` no-op ticks as geometric gaps instead of simulating
+//! them, so `unif` rows are ordinary at any `n`. Rows report both
+//! `steps_per_sec` (wall-clock walker moves — simulated progress) and
+//! `ticks_per_sec` (simulated ticks retired per second, counting skipped
+//! no-ops); for every schedule except `unif` the two coincide. Historical
+//! note: before the event-driven engine, `unif` rows' `steps_per_sec` was
+//! wall-clock tick work (~188× the walker moves on the clique), which is
+//! exactly what `ticks_per_sec` now measures.
 //!
 //! Families with closed-form neighbour math (clique, cycle, grid2d,
 //! hypercube, path) get a second set of rows with `backend = "implicit"`:
@@ -32,7 +39,7 @@
 //! ```text
 //! {"schedule":"par","family":"torus2d","backend":"implicit","n":1024,
 //!  "trials":8,"steps":...,"ticks":...,"secs":...,"steps_per_sec":...,
-//!  "rate":"..."}
+//!  "ticks_per_sec":...,"rate":"..."}
 //! ```
 
 use dispersion_bench::{Backend, Options};
@@ -121,6 +128,7 @@ fn bench_backend<T: Topology + Sync>(
         let (steps, ticks) = run_batch(opts.trials.max(1));
         let secs = t0.elapsed().as_secs_f64();
         let rate = steps as f64 / secs.max(1e-9);
+        let tick_rate = ticks as f64 / secs.max(1e-9);
         table.push_row([
             process.label().to_string(),
             family.to_string(),
@@ -131,6 +139,7 @@ fn bench_backend<T: Topology + Sync>(
             ticks.to_string(),
             format!("{secs:.4}"),
             format!("{rate:.0}"),
+            format!("{tick_rate:.0}"),
             fmt_rate(rate),
         ]);
     }
@@ -168,6 +177,7 @@ fn main() {
         "ticks",
         "secs",
         "steps_per_sec",
+        "ticks_per_sec",
         "rate",
     ]);
     for (fk, &family) in families.iter().enumerate() {

@@ -11,15 +11,20 @@
 //!
 //! ```text
 //! cargo run -p dispersion-bench --release --bin grid2d -- [--trials 100]
-//!     [--sizes 500] [--process seq|par|both] [--topology explicit|implicit]
+//!     [--sizes 500] [--process seq|par|unif|both] [--topology explicit|implicit]
 //!     [--budget ci:0.05] [--resume FILE]
 //! ```
 //!
 //! `--sizes` takes torus side lengths (`--sizes 500` is the 500×500
 //! torus, `n = 250 000`); `--process par` restricts the simulated columns
-//! to Parallel-IDLA (the cheap way to drive one huge trial). Sides with
-//! `n > 20 000` automatically cap the trial count and skip the shape
-//! section.
+//! to Parallel-IDLA (the cheap way to drive one huge trial). `--process
+//! both` runs all three simulated columns — the event-driven Uniform
+//! schedule samples its `Θ(n · t_par)` no-op ticks as geometric gaps, so
+//! the `t_unif` column costs the same walker time as `t_seq` and is fine
+//! at `n = 250 000` (before the event-driven engine it timed out). The
+//! reported `unif/n` normalisation puts the tick count on the Parallel
+//! clock for the Thm 4.8 comparison. Sides with `n > 20 000`
+//! automatically cap the trial count and skip the shape section.
 //!
 //! `--topology implicit` runs the simulation on the closed-form
 //! `dispersion_graphs::topology::Torus2d` — **no adjacency is ever
@@ -63,6 +68,7 @@ const HUGE_N: usize = 100_000;
 enum Which {
     Seq,
     Par,
+    Unif,
     Both,
 }
 
@@ -73,8 +79,9 @@ fn which_process(opts: &Options) -> Which {
             return match it.next().map(String::as_str) {
                 Some("seq") => Which::Seq,
                 Some("par") => Which::Par,
+                Some("unif") => Which::Unif,
                 Some("both") => Which::Both,
-                other => panic!("--process must be seq, par or both, got {other:?}"),
+                other => panic!("--process must be seq, par, unif or both, got {other:?}"),
             };
         }
     }
@@ -85,6 +92,7 @@ fn which_process(opts: &Options) -> Which {
 struct SideCells {
     seq: Option<usize>,
     par: Option<usize>,
+    unif: Option<usize>,
     shape: Option<usize>,
 }
 
@@ -134,18 +142,29 @@ fn main() {
             BackendSpec::Explicit
         };
         let s0 = opts.seed + 10 * k as u64;
-        let seq = (which != Which::Par).then(|| {
+        let seq = matches!(which, Which::Seq | Which::Both).then(|| {
             spec.push(
                 CellSpec::new(fam(backend), Measure::Dispersion(Process::Sequential))
                     .budget(budget)
                     .master_seed(s0),
             )
         });
-        let par = (which != Which::Seq).then(|| {
+        let par = matches!(which, Which::Par | Which::Both).then(|| {
             spec.push(
                 CellSpec::new(fam(backend), Measure::ParallelWithHalf)
                     .budget(budget)
                     .master_seed(s0 + 1),
+            )
+        });
+        // event-driven Uniform: same walker cost as the sequential fill
+        // (the Θ(n · t_par) no-op ticks are sampled, not simulated), so it
+        // rides the same per-side trial caps; seq = s0 / par = s0 + 1 stay
+        // on their historical streams
+        let unif = matches!(which, Which::Unif | Which::Both).then(|| {
+            spec.push(
+                CellSpec::new(fam(backend), Measure::Dispersion(Process::Uniform))
+                    .budget(budget)
+                    .master_seed(s0 + 2),
             )
         });
         let shape = (n <= LARGE_N).then(|| {
@@ -159,7 +178,12 @@ fn main() {
             shape_k += 1;
             id
         });
-        cells.push(SideCells { seq, par, shape });
+        cells.push(SideCells {
+            seq,
+            par,
+            unif,
+            shape,
+        });
     }
 
     println!("# Open Problem 1: 2-d torus dispersion between Ω(n log n) and O(n log² n)\n");
@@ -205,6 +229,8 @@ fn main() {
         "trials",
         "t_seq",
         "t_par",
+        "t_unif",
+        "unif/n",
         "par/(n ln n)",
         "par/(n ln² n)",
         "t_hit",
@@ -216,12 +242,18 @@ fn main() {
         let nf = n as f64;
         let seq = get(cells[k].seq);
         let par = get(cells[k].par);
+        let unif = get(cells[k].unif);
         let exact = exacts[k];
-        // adaptive budgets can stop the two cells at different counts
-        let trials = match (seq, par) {
-            (Some(s), Some(p)) if s.trials != p.trials => format!("{}/{}", s.trials, p.trials),
-            (Some(r), _) | (None, Some(r)) => r.trials.to_string(),
-            (None, None) => "0".to_string(),
+        // adaptive budgets can stop the cells at different counts
+        let counts: Vec<u64> = [seq, par, unif]
+            .into_iter()
+            .flatten()
+            .map(|r| r.trials)
+            .collect();
+        let trials = match counts.as_slice() {
+            [] => "0".to_string(),
+            [first, rest @ ..] if rest.iter().all(|c| c == first) => first.to_string(),
+            all => all.iter().map(u64::to_string).collect::<Vec<_>>().join("/"),
         };
         let opt_f = |r: Option<&Record>| r.map_or("-".into(), |r| fmt_f(r.mean("time")));
         let opt_norm =
@@ -233,6 +265,9 @@ fn main() {
             trials,
             opt_f(seq),
             opt_f(par),
+            opt_f(unif),
+            // ticks/n puts Uniform on the Parallel clock (Thm 4.8 scale)
+            opt_norm(unif, nf),
             opt_norm(par, nf * nf.ln()),
             opt_norm(par, nf * nf.ln() * nf.ln()),
             exact.map_or("-".into(), |(thit, _)| fmt_f(thit)),
@@ -244,6 +279,7 @@ fn main() {
     print!("{}", opts.render(&t));
     println!("\n(if /(n ln n) rises and /(n ln² n) falls, the truth is strictly between —");
     println!(" the paper conjectures n log² n, matching the binary-tree mechanism;");
+    println!(" t_unif counts Uniform ticks, so unif/n ≈ t_par is the Thm 4.8 scale;");
     println!(" t_hit is an exact CG solve; the lazy gap is a deflated-Lanczos estimate)\n");
 
     // aggregate roundness at half fill: the Prop 5.10 mechanism — the

@@ -63,9 +63,69 @@ fn table1_small_spec() -> ExperimentSpec {
     spec
 }
 
+/// Uniform/CTU counterpart grid: the event-driven schedules, on explicit
+/// and implicit backends, so the skip/clock samplers are covered by the
+/// same thread-count and kill+resume bit-equality gates as the cheap
+/// schedules.
+fn event_driven_spec() -> ExperimentSpec {
+    let seed = 11u64;
+    let mut spec = ExperimentSpec::new(seed);
+    for (k, (family, size)) in [
+        (Family::Complete, 40usize),
+        (Family::Cycle, 32),
+        (Family::Torus2d, 36),
+        (Family::Path, 24),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let fam = FamilySpec::explicit(family, size);
+        spec.push(
+            CellSpec::new(fam.clone(), Measure::Dispersion(Process::Uniform))
+                .budget(Budget::Trials(12))
+                .master_seed(seed.wrapping_add(10 * k as u64 + 1)),
+        );
+        spec.push(
+            CellSpec::new(fam, Measure::Dispersion(Process::Ctu))
+                .budget(Budget::Trials(12))
+                .master_seed(seed.wrapping_add(10 * k as u64 + 2)),
+        );
+    }
+    // implicit backends exercise the same samplers through the
+    // monomorphised loop, plus a steps measure for per-particle coverage
+    spec.push(
+        CellSpec::new(
+            FamilySpec::implicit(Family::Cycle, 64),
+            Measure::Dispersion(Process::Uniform),
+        )
+        .budget(Budget::Trials(12)),
+    );
+    spec.push(
+        CellSpec::new(
+            FamilySpec::implicit(Family::Torus2d, 64),
+            Measure::TotalSteps(Process::Uniform),
+        )
+        .budget(Budget::Trials(12)),
+    );
+    spec.push(
+        CellSpec::new(
+            FamilySpec::implicit(Family::Hypercube, 64),
+            Measure::Dispersion(Process::Ctu),
+        )
+        .budget(Budget::Trials(12)),
+    );
+    spec
+}
+
 fn run_with(threads: usize, resume: &[Record]) -> (Vec<Record>, MemorySink) {
     let mut sink = MemorySink::default();
     let records = Runner::new(threads).run(&table1_small_spec(), resume, &mut sink);
+    (records, sink)
+}
+
+fn run_event_driven(threads: usize, resume: &[Record]) -> (Vec<Record>, MemorySink) {
+    let mut sink = MemorySink::default();
+    let records = Runner::new(threads).run(&event_driven_spec(), resume, &mut sink);
     (records, sink)
 }
 
@@ -124,6 +184,50 @@ fn checkpoint_sink_only_records_fresh_cells() {
     union.extend(appended);
     union.sort_by_key(|r| r.cell);
     assert_eq!(union, full, "checkpoint file union reproduces the run");
+}
+
+#[test]
+fn event_driven_cells_bit_identical_across_thread_counts() {
+    let (r1, _) = run_event_driven(1, &[]);
+    let (r2, _) = run_event_driven(2, &[]);
+    let (r8, _) = run_event_driven(8, &[]);
+    assert_eq!(r1, r2);
+    assert_eq!(r1, r8);
+    // sanity: uniform dispersion times (ticks) are positive and large
+    // relative to n — the event-driven path really ran the uniform clock
+    assert!(r1
+        .iter()
+        .zip(event_driven_spec().cells.iter())
+        .any(
+            |(r, c)| matches!(c.measure, Measure::Dispersion(Process::Uniform))
+                && r.stats[0].mean > 64.0
+        ));
+}
+
+#[test]
+fn event_driven_kill_and_resume_is_bit_identical() {
+    let (full, _) = run_event_driven(4, &[]);
+    for cut in [1, 4, full.len()] {
+        let checkpoint: Vec<Record> = full[..cut].to_vec();
+        let (restarted, sink) = run_event_driven(3, &checkpoint);
+        assert_eq!(restarted, full, "restart after {cut} cells diverged");
+        assert_eq!(sink.resumed, cut);
+    }
+}
+
+#[test]
+fn event_driven_resume_roundtrips_through_ndjson_text() {
+    let (full, _) = run_event_driven(2, &[]);
+    let text: String = full
+        .iter()
+        .map(|r| format!("{}\n", r.to_json_line()))
+        .collect();
+    let parsed = parse_ndjson(&text).unwrap();
+    assert_eq!(parsed, full);
+    let (restarted, sink) = run_event_driven(4, &parsed);
+    assert_eq!(restarted, full);
+    assert_eq!(sink.resumed, full.len());
+    assert_eq!(sink.started, 0, "nothing re-ran");
 }
 
 #[test]

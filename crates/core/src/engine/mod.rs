@@ -322,6 +322,31 @@ where
 
     obs.on_start(&view!());
 
+    // one walk step for `pid`: advance, notify, settle-check, and (under
+    // Immediate removal) swap-remove from the active list — shared by the
+    // Step and Jump arms
+    macro_rules! move_particle {
+        ($pid:expr, $removal:expr) => {{
+            let pid = $pid;
+            let pos = step(g, cfg.walk, positions[pid], rng);
+            positions[pid] = pos;
+            steps[pid] += 1;
+            obs.on_tick(pid, &view!());
+            obs.on_step(pid, pos, &view!());
+            if !occ.is_occupied(pos) && rule.should_settle(steps[pid], pos) {
+                settle!(pid, pos);
+                if $removal == Removal::Immediate && slot_of[pid] != usize::MAX {
+                    let s = slot_of[pid];
+                    active.swap_remove(s);
+                    slot_of[pid] = usize::MAX;
+                    if s < active.len() {
+                        slot_of[active[s]] = s;
+                    }
+                }
+            }
+        }};
+    }
+
     let removal = schedule.removal();
     while unsettled > 0 {
         match schedule.next(&view!(), rng) {
@@ -375,22 +400,27 @@ where
                     });
                 }
                 time += dt;
-                let pos = step(g, cfg.walk, positions[pid], rng);
-                positions[pid] = pos;
-                steps[pid] += 1;
-                obs.on_tick(pid, &view!());
-                obs.on_step(pid, pos, &view!());
-                if !occ.is_occupied(pos) && rule.should_settle(steps[pid], pos) {
-                    settle!(pid, pos);
-                    if removal == Removal::Immediate && slot_of[pid] != usize::MAX {
-                        let s = slot_of[pid];
-                        active.swap_remove(s);
-                        slot_of[pid] = usize::MAX;
-                        if s < active.len() {
-                            slot_of[active[s]] = s;
-                        }
-                    }
+                move_particle!(pid, removal);
+            }
+            Event::Jump { noops, pid, dt } => {
+                // skip the no-op gap in one bound, then take the move. The
+                // cap check covers the whole jump up front so a run that
+                // would have hit the cap mid-gap under the tick loop fails
+                // here with the same observable error.
+                if ticks.saturating_add(noops).saturating_add(1) > cfg.step_cap {
+                    return Err(EngineError::StepCapExceeded {
+                        schedule: schedule.label(),
+                        cap: cfg.step_cap,
+                        unsettled,
+                    });
                 }
+                if noops > 0 {
+                    ticks += noops;
+                    obs.on_skip(noops, &view!());
+                }
+                ticks += 1;
+                time += dt;
+                move_particle!(pid, removal);
             }
         }
     }

@@ -31,10 +31,23 @@ pub trait Observer {
     }
 
     /// A tick was consumed by particle `pid` — fires for moves *and* for
-    /// Uniform no-op ticks, in schedule order (the realized schedule `R_t`).
+    /// explicit Uniform no-op ticks, in schedule order (the realized
+    /// schedule `R_t` under tick-loop schedules). The event-driven Uniform
+    /// schedule replaces runs of no-op ticks with a single
+    /// [`Observer::on_skip`], so only move ticks reach this hook there.
     #[inline]
     fn on_tick(&mut self, pid: usize, view: &EngineView<'_>) {
         let _ = (pid, view);
+    }
+
+    /// An event-driven schedule skipped `noops ≥ 1` no-op ticks in one
+    /// jump. `view.clock.ticks` already includes them, so tick-clock
+    /// readings (settle ticks, phase boundaries) are identical to the
+    /// tick-by-tick loop's; per-tick counters add `noops` here to stay in
+    /// agreement.
+    #[inline]
+    fn on_skip(&mut self, noops: u64, view: &EngineView<'_>) {
+        let _ = (noops, view);
     }
 
     /// Particle `pid` stepped to `pos` (after the particle arrays updated).
@@ -79,6 +92,10 @@ impl<T: Observer + ?Sized> Observer for &mut T {
         (**self).on_tick(pid, view);
     }
     #[inline]
+    fn on_skip(&mut self, noops: u64, view: &EngineView<'_>) {
+        (**self).on_skip(noops, view);
+    }
+    #[inline]
     fn on_step(&mut self, pid: usize, pos: Vertex, view: &EngineView<'_>) {
         (**self).on_step(pid, pos, view);
     }
@@ -115,6 +132,12 @@ impl<T: Observer> Observer for Option<T> {
     fn on_tick(&mut self, pid: usize, view: &EngineView<'_>) {
         if let Some(o) = self {
             o.on_tick(pid, view);
+        }
+    }
+    #[inline]
+    fn on_skip(&mut self, noops: u64, view: &EngineView<'_>) {
+        if let Some(o) = self {
+            o.on_skip(noops, view);
         }
     }
     #[inline]
@@ -161,6 +184,11 @@ macro_rules! impl_observer_tuple {
             fn on_tick(&mut self, pid: usize, view: &EngineView<'_>) {
                 let ($($name,)+) = self;
                 $($name.on_tick(pid, view);)+
+            }
+            #[inline]
+            fn on_skip(&mut self, noops: u64, view: &EngineView<'_>) {
+                let ($($name,)+) = self;
+                $($name.on_skip(noops, view);)+
             }
             #[inline]
             fn on_step(&mut self, pid: usize, pos: Vertex, view: &EngineView<'_>) {
@@ -247,6 +275,10 @@ impl Observer for Odometer {
         self.ticks += 1;
     }
     #[inline]
+    fn on_skip(&mut self, noops: u64, _view: &EngineView<'_>) {
+        self.ticks += noops;
+    }
+    #[inline]
     fn on_step(&mut self, _pid: usize, _pos: Vertex, _view: &EngineView<'_>) {
         self.steps += 1;
     }
@@ -279,6 +311,14 @@ impl TrajectoryBlock {
     /// Also records jump ticks and the realized schedule (Uniform runs —
     /// everything [`crate::block::parallel_to_uniform`] needs to reenact
     /// the run, per the Theorem 4.7 bijection).
+    ///
+    /// The full realized schedule `R_t` includes the identity of every
+    /// no-op draw, so it only materialises under a tick-loop schedule
+    /// ([`crate::engine::schedule::UniformTicks`]); under the event-driven
+    /// [`crate::engine::schedule::Uniform`] the rows and jump ticks are
+    /// still exact but the schedule array holds only the move ticks.
+    /// `process::uniform::run_uniform` selects the tick loop whenever
+    /// recording is requested.
     pub fn with_timing() -> Self {
         TrajectoryBlock {
             rows: Vec::new(),

@@ -15,7 +15,7 @@
 //! The walk/settle loop lives in [`crate::engine`]; this module is the
 //! schedule-specific entry point kept for API compatibility.
 
-use crate::engine::schedule::Ctu;
+use crate::engine::schedule::{Ctu, CtuClocks};
 use crate::engine::{self, EngineConfig, EngineError, FirstVacant};
 use crate::outcome::DispersionOutcome;
 use crate::process::sequential::run_sequential;
@@ -81,6 +81,38 @@ pub fn run_ctu<T: Topology + ?Sized, R: Rng + ?Sized>(
 ) -> Result<ContinuousOutcome, EngineError> {
     let ecfg = EngineConfig::full(g, origin, cfg);
     let out = engine::run(g, &mut Ctu::new(), &FirstVacant, &ecfg, &mut (), rng)?;
+    let outcome = DispersionOutcome::new(origin, out.steps, out.settled_at, None);
+    Ok(ContinuousOutcome {
+        outcome,
+        settle_time: out.time,
+    })
+}
+
+/// Runs one CTU-IDLA realization with the literal per-walker-clock
+/// schedule ([`CtuClocks`]: one rate-1 exponential clock per walker, kept
+/// in a shrinking lazily-pruned min-heap) instead of the superposition
+/// schedule used by [`run_ctu`].
+///
+/// The two are equal in law by memorylessness; this entry point exists as
+/// the cross-implementation twin for the statistical-equivalence suite
+/// (`crates/core/tests/schedule_equivalence.rs`) — production paths should
+/// prefer [`run_ctu`], whose moves cost O(1) instead of O(log k).
+///
+/// # Errors
+///
+/// Returns [`EngineError::StepCapExceeded`] if the walk-step cap fires.
+///
+/// # Panics
+///
+/// Panics if `origin` is out of range.
+pub fn run_ctu_clocks<T: Topology + ?Sized, R: Rng + ?Sized>(
+    g: &T,
+    origin: Vertex,
+    cfg: &ProcessConfig,
+    rng: &mut R,
+) -> Result<ContinuousOutcome, EngineError> {
+    let ecfg = EngineConfig::full(g, origin, cfg);
+    let out = engine::run(g, &mut CtuClocks::new(), &FirstVacant, &ecfg, &mut (), rng)?;
     let outcome = DispersionOutcome::new(origin, out.steps, out.settled_at, None);
     Ok(ContinuousOutcome {
         outcome,
@@ -177,6 +209,40 @@ mod tests {
         let mean: f64 = (0..trials)
             .map(|_| {
                 run_ctu(&g, 0, &ProcessConfig::simple(), &mut rng)
+                    .unwrap()
+                    .settle_time
+            })
+            .sum::<f64>()
+            / trials as f64;
+        let expect: f64 = (1..n).map(|k| (n as f64 - 1.0) / (k * k) as f64).sum();
+        assert!(
+            (mean - expect).abs() < 0.1 * expect,
+            "mean {mean} vs exact {expect}"
+        );
+    }
+
+    #[test]
+    fn ctu_clocks_covers_every_vertex() {
+        let g = cycle(9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let o = run_ctu_clocks(&g, 0, &ProcessConfig::simple(), &mut rng).unwrap();
+        let mut settled = o.outcome.settled_at.clone();
+        settled.sort_unstable();
+        assert_eq!(settled, (0..9).collect::<Vec<_>>());
+        assert!(o.settle_time > 0.0);
+    }
+
+    #[test]
+    fn ctu_clocks_clique_pi_squared_over_six() {
+        // same Theorem 5.2 exact-law check as the superposition schedule:
+        // the per-walker-clock implementation must hit the same constant
+        let n = 48usize;
+        let g = complete(n);
+        let mut rng = StdRng::seed_from_u64(14);
+        let trials = 400;
+        let mean: f64 = (0..trials)
+            .map(|_| {
+                run_ctu_clocks(&g, 0, &ProcessConfig::simple(), &mut rng)
                     .unwrap()
                     .settle_time
             })

@@ -9,10 +9,17 @@
 //!
 //! The walk/settle loop lives in [`crate::engine`]; this module is the
 //! schedule-specific entry point kept for API compatibility.
+//!
+//! Plain runs use the event-driven [`Uniform`] schedule, which samples the
+//! geometric no-op gap instead of simulating `Θ(n · t_par)` no-op ticks —
+//! same law, same tick semantics (`settle_tick` counts skipped ticks).
+//! Recording runs use the tick-loop [`UniformTicks`] schedule, because the
+//! realized schedule `R_t` they return contains the identity of every
+//! no-op draw and is `Θ(ticks)` to materialise anyway.
 
 use crate::block::algorithms::TimedBlock;
 use crate::engine::observer::TrajectoryBlock;
-use crate::engine::schedule::Uniform;
+use crate::engine::schedule::{Uniform, UniformTicks};
 use crate::engine::{self, EngineConfig, EngineError, FirstVacant};
 use crate::outcome::DispersionOutcome;
 use crate::process::ProcessConfig;
@@ -56,14 +63,25 @@ pub fn run_uniform<T: Topology + ?Sized, R: Rng + ?Sized>(
 ) -> Result<UniformOutcome, EngineError> {
     let ecfg = EngineConfig::full(g, origin, cfg);
     let mut traj = cfg.record_trajectories.then(TrajectoryBlock::with_timing);
-    let out = engine::run(
-        g,
-        &mut Uniform::new(g.n()),
-        &FirstVacant,
-        &ecfg,
-        &mut traj,
-        rng,
-    )?;
+    let out = if cfg.record_trajectories {
+        engine::run(
+            g,
+            &mut UniformTicks::new(g.n()),
+            &FirstVacant,
+            &ecfg,
+            &mut traj,
+            rng,
+        )?
+    } else {
+        engine::run(
+            g,
+            &mut Uniform::new(g.n()),
+            &FirstVacant,
+            &ecfg,
+            &mut traj,
+            rng,
+        )?
+    };
     let (block, timed, schedule) = match traj {
         Some(t) => {
             let (b, timed, schedule) = t.into_parts();

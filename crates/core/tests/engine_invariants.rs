@@ -19,7 +19,14 @@ use dispersion_graphs::Graph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const SCHEDULES: [&str; 4] = ["sequential", "parallel", "uniform", "ctu"];
+const SCHEDULES: [&str; 6] = [
+    "sequential",
+    "parallel",
+    "uniform",
+    "uniform-ticks",
+    "ctu",
+    "ctu-clocks",
+];
 
 /// Runs one engine realization of the named schedule (the [`Schedule`]
 /// trait is generic, so tests dispatch by label).
@@ -56,7 +63,23 @@ fn run_schedule<R: Rng + ?Sized>(
             obs,
             rng,
         ),
+        "uniform-ticks" => engine::run(
+            g,
+            &mut schedule::UniformTicks::new(g.n()),
+            &FirstVacant,
+            &ecfg,
+            obs,
+            rng,
+        ),
         "ctu" => engine::run(g, &mut schedule::Ctu::new(), &FirstVacant, &ecfg, obs, rng),
+        "ctu-clocks" => engine::run(
+            g,
+            &mut schedule::CtuClocks::new(),
+            &FirstVacant,
+            &ecfg,
+            obs,
+            rng,
+        ),
         other => panic!("unknown schedule {other}"),
     }
 }
@@ -114,15 +137,76 @@ fn recorded_blocks_validate_across_schedules() {
         assert!(is_parallel_block(&pb), "{}", inst.label);
         assert!(rows_are_walks(&pb, &inst.graph, false), "{}", inst.label);
 
-        // uniform realizations carry consistent timing arrays
+        // uniform tick-loop realizations carry consistent timing arrays and
+        // the complete realized schedule R_t (one entry per tick, no-ops
+        // included) — the reason the tick loop is retained
+        let mut traj = TrajectoryBlock::with_timing();
+        let out = run_schedule("uniform-ticks", &inst.graph, &cfg, &mut traj, &mut rng).unwrap();
+        let (ub, timed, sched) = traj.into_parts();
+        assert!(has_distinct_endpoints(&ub), "{}", inst.label);
+        let timed = timed.unwrap();
+        assert_eq!(timed.settle_tick(), out.settle_tick, "{}", inst.label);
+        assert_eq!(sched.unwrap().len() as u64, out.ticks, "{}", inst.label);
+
+        // event-driven uniform realizations keep exact rows and jump ticks;
+        // the schedule array only sees the move ticks (no-ops are skipped)
         let mut traj = TrajectoryBlock::with_timing();
         let out = run_schedule("uniform", &inst.graph, &cfg, &mut traj, &mut rng).unwrap();
         let (ub, timed, sched) = traj.into_parts();
         assert!(has_distinct_endpoints(&ub), "{}", inst.label);
         let timed = timed.unwrap();
         assert_eq!(timed.settle_tick(), out.settle_tick, "{}", inst.label);
-        assert_eq!(sched.unwrap().len() as u64, out.ticks, "{}", inst.label);
+        assert_eq!(
+            sched.unwrap().len() as u64,
+            out.total_steps,
+            "{}",
+            inst.label
+        );
+        assert!(out.ticks >= out.total_steps, "{}", inst.label);
     }
+}
+
+#[test]
+fn event_driven_uniform_keeps_tick_semantics() {
+    // the skipped no-op gaps must be indistinguishable from simulated ones
+    // everywhere they are observable: the outcome's tick clock, the
+    // Odometer (which counts skips via on_skip), and the settle tick.
+    for (k, family) in Family::table1().into_iter().enumerate() {
+        let mut grng = StdRng::seed_from_u64(40 + k as u64);
+        let inst = family.instance(36, &mut grng);
+        let mut rng = StdRng::seed_from_u64(400 + k as u64);
+        let mut odo = Odometer::default();
+        let mut time = DispersionTime::default();
+        let out = run_schedule(
+            "uniform",
+            &inst.graph,
+            &ProcessConfig::simple(),
+            &mut (&mut odo, &mut time),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(odo.ticks, out.ticks, "{}", inst.label);
+        assert_eq!(odo.steps, out.total_steps, "{}", inst.label);
+        assert_eq!(time.settle_tick, out.settle_tick, "{}", inst.label);
+        assert_eq!(out.settle_tick, out.ticks, "{}", inst.label);
+        // a 36-vertex fill has essentially no chance of zero no-op draws
+        assert!(out.ticks > out.total_steps, "{}", inst.label);
+    }
+}
+
+#[test]
+fn ctu_clocks_heap_shrinks_with_the_active_set() {
+    // the per-walker clock heap must never exceed active walkers by more
+    // than the lazily-pruned settled rings (≤ one per settle), and time
+    // must advance monotonically
+    let g = dispersion_graphs::generators::complete(32);
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut sched = schedule::CtuClocks::new();
+    let ecfg = EngineConfig::full(&g, 0, &ProcessConfig::simple());
+    let out = engine::run(&g, &mut sched, &FirstVacant, &ecfg, &mut (), &mut rng).unwrap();
+    assert!(out.time > 0.0);
+    // after the run: every remaining clock belongs to a settled walker
+    assert!(sched.clocks() <= g.n());
 }
 
 /// One-sided empirical CDF violation of `A ⪯ B` (0 ≈ consistent).

@@ -1,0 +1,250 @@
+//! Exact-law gates for the event-driven samplers behind the Uniform and
+//! CTU schedules: the geometric no-op-gap sampler
+//! ([`schedule::geometric_noops_from_u`] / [`schedule::sample_geometric_noops`])
+//! and the exponential clock draws ([`schedule::sample_exponential`],
+//! including the per-walker-clock heap priming of
+//! [`schedule::CtuClocks`]).
+//!
+//! Three layers of evidence, mirroring the cross-backend discipline of
+//! `solve_vs_dense.rs`:
+//!
+//! 1. **Exact inverse-CDF identity** on pinned u-streams: the sampler is a
+//!    pure one-draw function of `u`, and its output is bit-for-bit the
+//!    closed-form CDF inversion (including the `u < p` fast path, which
+//!    must be the *same* formula, not an approximation).
+//! 2. **Proptest CDF gates**: for arbitrary `p`, empirical pmf/CDF over a
+//!    seeded stream matches `P(X = j) = (1 − p)^j p` pointwise.
+//! 3. **Moment bounds over 10⁴ draws**: mean `(1 − p)/p` and variance
+//!    `(1 − p)/p²` (exponential: `1/λ`, `1/λ²`) within sampling-error
+//!    tolerances.
+
+use dispersion_core::engine::schedule::{
+    self, geometric_noops_from_u, sample_exponential, sample_geometric_noops,
+};
+use dispersion_core::engine::{self, EngineConfig, FirstVacant};
+use dispersion_core::process::ProcessConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Reference CDF inversion by explicit summation: the smallest `j` with
+/// `u < 1 − (1 − p)^{j+1}`, computed without logarithms. Only practical for
+/// moderate `j`, which the tests guarantee by construction.
+fn reference_inversion(p: f64, u: f64, j_max: u64) -> Option<u64> {
+    let mut tail = 1.0; // (1 - p)^0
+    for j in 0..=j_max {
+        tail *= 1.0 - p;
+        if u < 1.0 - tail {
+            return Some(j);
+        }
+    }
+    None
+}
+
+#[test]
+fn inverse_cdf_identity_on_pinned_u_streams() {
+    // the sampler consumes exactly one f64 per draw and maps it through
+    // geometric_noops_from_u — replaying the pinned u-stream through the
+    // pure function must reproduce the sampled sequence bit-for-bit
+    for seed in 0..4u64 {
+        for p in [0.003, 0.02, 0.17, 0.5, 0.84, 1.0] {
+            let sampled: Vec<u64> = {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..500)
+                    .map(|_| sample_geometric_noops(p, &mut rng))
+                    .collect()
+            };
+            let replayed: Vec<u64> = {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..500)
+                    .map(|_| geometric_noops_from_u(p, rng.random::<f64>()))
+                    .collect()
+            };
+            assert_eq!(sampled, replayed, "p={p} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn inverse_cdf_matches_explicit_summation() {
+    // against the logarithm-free reference inversion on a fine u-grid; the
+    // two computations may disagree by one step only when u sits on a CDF
+    // knot `1 − (1 − p)^{j+1}` within floating-point error (e.g. p = 0.01,
+    // u = 0.0199), where which side the rounding falls on is arbitrary
+    for p in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9] {
+        for k in 0..5000u64 {
+            let u = (k as f64 + 0.5) / 5000.0;
+            let got = geometric_noops_from_u(p, u);
+            let want = reference_inversion(p, u, 4000).expect("reference ran out of terms");
+            if got != want {
+                let j = got.min(want);
+                let knot = 1.0 - (1.0 - p).powi(j as i32 + 1);
+                assert!(
+                    got.abs_diff(want) == 1 && (u - knot).abs() < 1e-9,
+                    "p={p} u={u}: got {got}, reference {want}, nearest knot {knot}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_path_threshold_is_exact() {
+    // u < p ⟺ zero no-ops: check tightly around the threshold
+    for p in [0.1, 0.33, 0.66, 0.95] {
+        let eps = f64::EPSILON * 4.0;
+        assert_eq!(geometric_noops_from_u(p, 0.0), 0);
+        assert_eq!(geometric_noops_from_u(p, p - eps), 0);
+        assert!(geometric_noops_from_u(p, p + eps) >= 1, "p={p}");
+    }
+}
+
+#[test]
+fn moments_over_ten_thousand_draws() {
+    let draws = 10_000usize;
+    for (i, p) in [0.02f64, 0.1, 0.3, 0.5, 0.8].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+        let xs: Vec<f64> = (0..draws)
+            .map(|_| sample_geometric_noops(p, &mut rng) as f64)
+            .collect();
+        let mean = xs.iter().sum::<f64>() / draws as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws as f64;
+        let q = 1.0 - p;
+        let (m_exact, v_exact) = (q / p, q / (p * p));
+        // mean of N draws has sd sqrt(var/N); allow 4 sigma plus slack
+        let m_tol = 4.0 * (v_exact / draws as f64).sqrt() + 1e-9;
+        assert!(
+            (mean - m_exact).abs() < m_tol,
+            "p={p}: mean {mean} vs {m_exact} (tol {m_tol})"
+        );
+        // sample variance fluctuates with sd ~ var * sqrt(2/N + kurtosis/N)
+        // for the geometric (excess kurtosis 6 + p²/q); generous 25% gate
+        assert!(
+            (var - v_exact).abs() < 0.25 * v_exact + 1e-9,
+            "p={p}: var {var} vs {v_exact}"
+        );
+    }
+}
+
+#[test]
+fn exponential_moments_over_ten_thousand_draws() {
+    let draws = 10_000usize;
+    for (i, rate) in [0.5f64, 1.0, 4.0, 32.0].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(2000 + i as u64);
+        let xs: Vec<f64> = (0..draws)
+            .map(|_| sample_exponential(rate, &mut rng))
+            .collect();
+        let mean = xs.iter().sum::<f64>() / draws as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws as f64;
+        let (m_exact, v_exact) = (1.0 / rate, 1.0 / (rate * rate));
+        assert!(
+            (mean - m_exact).abs() < 5.0 * (v_exact / draws as f64).sqrt(),
+            "rate={rate}: mean {mean} vs {m_exact}"
+        );
+        assert!(
+            (var - v_exact).abs() < 0.2 * v_exact,
+            "rate={rate}: var {var} vs {v_exact}"
+        );
+        assert!(xs.iter().all(|&x| x >= 0.0 && x.is_finite()));
+    }
+}
+
+#[test]
+fn clock_heap_priming_matches_pinned_stream() {
+    // CtuClocks primes one Exp(1) clock per active walker in ascending pid
+    // order; on the clique the first move's dt must equal the minimum of
+    // exactly those draws, bit-for-bit, and the winning pid must be the
+    // argmin. Verified by replaying the pinned RNG stream by hand.
+    let n = 24usize;
+    let g = dispersion_graphs::generators::complete(n);
+    for seed in 0..8u64 {
+        // hand replay: the engine spawns eagerly (no draws), then the first
+        // schedule.next() primes clocks for actives 1..n in order
+        let mut replay = StdRng::seed_from_u64(seed);
+        let primed: Vec<f64> = (1..n)
+            .map(|_| sample_exponential(1.0, &mut replay))
+            .collect();
+        let (argmin, &min_t) = primed
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+
+        struct FirstMove {
+            dt: f64,
+            pid: usize,
+            seen: bool,
+        }
+        impl engine::Observer for FirstMove {
+            fn on_tick(&mut self, pid: usize, view: &engine::EngineView<'_>) {
+                if !self.seen {
+                    self.seen = true;
+                    self.dt = view.clock.time;
+                    self.pid = pid;
+                }
+            }
+        }
+        let mut first = FirstMove {
+            dt: f64::NAN,
+            pid: usize::MAX,
+            seen: false,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ecfg = EngineConfig::full(&g, 0, &ProcessConfig::simple());
+        engine::run(
+            &g,
+            &mut schedule::CtuClocks::new(),
+            &FirstVacant,
+            &ecfg,
+            &mut first,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(first.seen);
+        assert_eq!(first.dt.to_bits(), min_t.to_bits(), "seed {seed}");
+        assert_eq!(first.pid, argmin + 1, "seed {seed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn geometric_cdf_pointwise(p in 0.02f64..0.98, seed in 0u64..1u64 << 32) {
+        // empirical CDF at j ∈ {0, 1, 2, 5} within binomial sampling error
+        let draws = 4000usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<u64> = (0..draws).map(|_| sample_geometric_noops(p, &mut rng)).collect();
+        for j in [0u64, 1, 2, 5] {
+            let emp = xs.iter().filter(|&&x| x <= j).count() as f64 / draws as f64;
+            let exact = 1.0 - (1.0 - p).powi(j as i32 + 1);
+            // 5-sigma binomial tolerance
+            let tol = 5.0 * (exact * (1.0 - exact) / draws as f64).sqrt() + 1e-9;
+            prop_assert!(
+                (emp - exact).abs() < tol,
+                "p={} j={}: empirical {} vs exact {} (tol {})", p, j, emp, exact, tol
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_never_panics_and_is_zero_iff_below_p(p in 0.001f64..1.0, u in 0.0f64..1.0) {
+        let x = geometric_noops_from_u(p, u);
+        if u < p {
+            prop_assert_eq!(x, 0);
+        } else {
+            prop_assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn exponential_cdf_at_median(rate in 0.1f64..64.0, seed in 0u64..1u64 << 32) {
+        let draws = 4000usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let median = std::f64::consts::LN_2 / rate;
+        let below = (0..draws)
+            .filter(|_| sample_exponential(rate, &mut rng) <= median)
+            .count() as f64 / draws as f64;
+        prop_assert!((below - 0.5).abs() < 0.04, "rate={}: {} below median", rate, below);
+    }
+}
