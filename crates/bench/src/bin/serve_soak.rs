@@ -1,0 +1,155 @@
+//! HTTP-service overhead for the job server: runs the same clique
+//! n=1024 cells twice — once through an in-process `Runner`, once
+//! submitted to an in-process [`Server`] over real TCP (`POST /jobs` +
+//! chunked record stream) — with identical master seeds, and reports the
+//! wall-clock delta. The streamed NDJSON must be byte-identical to the
+//! in-process records, so the gap is pure HTTP + queue overhead; the
+//! committed baseline in `BENCH_engine_throughput.json` pins it under 5%.
+//!
+//! `--jobs N` additionally soaks the server with `N` concurrent small
+//! jobs before the measurement (a quick liveness shake-out, not timed).
+//!
+//! ```text
+//! cargo run -p dispersion-bench --release --bin serve_soak -- \
+//!     [--trials 512] [--sizes 1024] [--jobs 16] [--format json]
+//! ```
+
+use dispersion_bench::Options;
+use dispersion_graphs::families::Family;
+use dispersion_serve::{Client, Server, ServerConfig};
+use dispersion_sim::experiment::Process;
+use dispersion_sim::runner::Runner;
+use dispersion_sim::sink::MemorySink;
+use dispersion_sim::spec::{Budget, CellSpec, ExperimentSpec, FamilySpec, Measure};
+use dispersion_sim::table::{fmt_f, TextTable};
+use std::time::Instant;
+
+fn spec_for(n: usize, trials: usize, seed: u64) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(seed);
+    for (k, p) in [Process::Sequential, Process::Parallel]
+        .into_iter()
+        .enumerate()
+    {
+        spec.push(
+            CellSpec::new(
+                FamilySpec::explicit(Family::Complete, n),
+                Measure::Dispersion(p),
+            )
+            .budget(Budget::Trials(trials))
+            .master_seed(seed + k as u64),
+        );
+    }
+    spec
+}
+
+/// Submits a spec and drains its record stream; returns the NDJSON lines.
+fn run_over_http(client: &Client, spec: &ExperimentSpec) -> Vec<String> {
+    let json = dispersion_serve::spec_json::spec_to_json(spec);
+    let id = client
+        .submit(&json)
+        .unwrap_or_else(|e| panic!("submit: {e}"));
+    let mut lines = Vec::new();
+    client
+        .stream_records(id, 0, &mut |line| lines.push(line.to_string()))
+        .expect("record stream");
+    lines
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let n = opts.sizes_or(&[1024])[0];
+    // long enough (~1s per path) that scheduler noise on a shared box
+    // stays well inside the 5% gate, but an explicit --trials must win —
+    // detect the flag, not its value
+    let trials = if std::env::args().any(|a| a == "--trials") {
+        opts.trials
+    } else {
+        2048
+    };
+    let soak_jobs: usize = std::env::args()
+        .skip_while(|a| a != "--jobs")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    // workers=1 so both paths burn exactly one core on the same work
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let client = Client::new(server.addr());
+
+    // optional soak: a burst of concurrent small jobs, drained fully
+    if soak_jobs > 0 {
+        let t0 = Instant::now();
+        let lines: usize = (0..soak_jobs)
+            .map(|k| run_over_http(&client, &spec_for(64, 8, opts.seed ^ (k as u64 + 1))).len())
+            .sum();
+        eprintln!(
+            "# soak: {soak_jobs} jobs, {lines} records in {:.3}s",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    let spec = spec_for(n, trials, opts.seed);
+
+    // warm-up both paths once
+    let warm = Runner::new(1).run(&spec, &[], &mut MemorySink::default());
+    let _ = run_over_http(&client, &spec);
+
+    // best-of-REPS on each path, repetitions interleaved so load drift
+    // on a shared box hits both paths alike; the work is identical every
+    // repetition (fixed seeds), so min wall-clock is the noise-robust read
+    const REPS: usize = 5;
+    let mut runner_secs = f64::INFINITY;
+    let mut http_secs = f64::INFINITY;
+    let mut records = warm;
+    let mut streamed = Vec::new();
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        records = Runner::new(1).run(&spec, &[], &mut MemorySink::default());
+        runner_secs = runner_secs.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        streamed = run_over_http(&client, &spec);
+        http_secs = http_secs.min(t0.elapsed().as_secs_f64());
+    }
+
+    // same seeds → same trials: the HTTP stream must reproduce the
+    // in-process records byte for byte, or the comparison is dishonest
+    let want: Vec<String> = records.iter().map(|r| r.to_json_line()).collect();
+    assert_eq!(
+        streamed, want,
+        "served records diverged from in-process run"
+    );
+
+    let overhead_pct = (http_secs / runner_secs - 1.0) * 100.0;
+    let records_per_sec = want.len() as f64 / http_secs;
+    let mut t = TextTable::new([
+        "bench",
+        "family",
+        "n",
+        "trials",
+        "cells",
+        "runner_secs",
+        "http_secs",
+        "overhead_pct",
+        "records_per_sec",
+    ]);
+    t.push_row([
+        "serve_overhead".into(),
+        "clique".into(),
+        n.to_string(),
+        trials.to_string(),
+        spec.len().to_string(),
+        format!("{runner_secs:.4}"),
+        format!("{http_secs:.4}"),
+        format!("{overhead_pct:.2}"),
+        fmt_f(records_per_sec),
+    ]);
+    print!("{}", opts.render(&t));
+    if !opts.csv && opts.format == dispersion_bench::OutputFormat::Text {
+        println!("\n(byte-identical records on both paths; the gate is overhead under 5%)");
+    }
+    server.stop();
+}

@@ -5,7 +5,7 @@
 
 use crate::Options;
 use dispersion_sim::runner::Runner;
-use dispersion_sim::sink::{parse_ndjson, Fanout, NdjsonSink, Record};
+use dispersion_sim::sink::{parse_ndjson_lossy, Fanout, NdjsonSink, Record};
 use dispersion_sim::spec::ExperimentSpec;
 use std::fs;
 use std::io::BufWriter;
@@ -27,30 +27,27 @@ pub fn load_checkpoint(path: &str) -> Vec<Record> {
     }
     let text =
         fs::read_to_string(path).unwrap_or_else(|e| panic!("--resume {path:?}: cannot read: {e}"));
-    match parse_ndjson(&text) {
-        Ok(records) => records,
-        Err(e) => {
-            // retry without the final non-empty line: torn tail from a kill
-            let keep = text
-                .trim_end()
-                .rfind('\n')
-                .map(|i| &text[..=i])
-                .unwrap_or("");
-            match parse_ndjson(keep) {
-                Ok(records) => {
-                    eprintln!("# resume: dropping torn final line of {path} ({e})");
-                    // repair the file on disk too — appending fresh records
-                    // after the newline-less torn bytes would glue them into
-                    // one permanently corrupt interior line
-                    fs::write(path, keep).unwrap_or_else(|e| {
-                        panic!("--resume {path:?}: cannot truncate torn tail: {e}")
-                    });
-                    records
-                }
-                Err(_) => panic!("--resume {path:?}: malformed checkpoint: {e}"),
-            }
+    let (records, tail) = parse_ndjson_lossy(&text);
+    if let Some(tail) = tail {
+        // only a *final* malformed line is a torn tail; garbage followed by
+        // more complete lines means the wrong/corrupt file was passed
+        if text[tail.offset..].trim_end().contains('\n') {
+            panic!(
+                "--resume {path:?}: malformed checkpoint: line {}: {}",
+                tail.line, tail.error
+            );
         }
+        eprintln!(
+            "# resume: dropping torn final line of {path} (line {}: {})",
+            tail.line, tail.error
+        );
+        // repair the file on disk too — appending fresh records after the
+        // newline-less torn bytes would glue them into one permanently
+        // corrupt interior line
+        fs::write(path, &text[..tail.offset])
+            .unwrap_or_else(|e| panic!("--resume {path:?}: cannot truncate torn tail: {e}"));
     }
+    records
 }
 
 /// Runs `spec` with `opts.threads` workers, honouring `--resume`:

@@ -1,0 +1,62 @@
+//! The `dispersion-serve` binary: bind, restore jobs from `--data-dir`,
+//! serve until killed.
+//!
+//! ```text
+//! dispersion-serve [--addr 127.0.0.1:7070] [--data-dir DIR]
+//!                  [--workers N] [--max-jobs N]
+//! ```
+//!
+//! Prints one `listening http://<addr>` line on stdout once the socket
+//! is live (port 0 in `--addr` picks a free port — the line is how
+//! callers learn which one).
+
+use dispersion_serve::{Server, ServerConfig};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dispersion-serve [--addr HOST:PORT] [--data-dir DIR] [--workers N] [--max-jobs N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7070".into(),
+        workers: std::thread::available_parallelism().map_or(2, |p| p.get().max(2)),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--data-dir" => cfg.data_dir = Some(value("--data-dir").into()),
+            "--workers" => cfg.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--max-jobs" => {
+                cfg.max_live_jobs = value("--max-jobs").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let server = Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("dispersion-serve: {e}");
+        std::process::exit(1);
+    });
+    println!("listening http://{}", server.addr());
+    let _ = std::io::stdout().flush();
+    // serve until the process is killed
+    loop {
+        std::thread::park();
+    }
+}

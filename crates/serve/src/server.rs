@@ -1,0 +1,219 @@
+//! The TCP front-end: accept loop, request routing, and the chunked
+//! NDJSON record stream. One thread per connection — connections are
+//! few (clients, scrapes) and the expensive ones are streams that
+//! monopolise their socket anyway.
+
+use crate::http::{self, ChunkedWriter, Request};
+use crate::jobs::{JobStore, NextRecord, SubmitError};
+use crate::metrics::Metrics;
+use crate::spec_json;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration (the CLI flags, structured).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7070` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads draining job cells.
+    pub workers: usize,
+    /// Data directory for durable jobs; `None` = in-memory only.
+    pub data_dir: Option<PathBuf>,
+    /// Bound on jobs with open cells (further `POST /jobs` gets 429).
+    pub max_live_jobs: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            data_dir: None,
+            max_live_jobs: 64,
+        }
+    }
+}
+
+/// A running server: bound listener, worker pool, accept thread.
+pub struct Server {
+    /// The job store (exposed so embedders/tests can inspect state).
+    pub jobs: Arc<JobStore>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, re-scans the data directory, and starts the worker pool
+    /// and accept thread. Returns as soon as the listener is live.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/scan I/O failures.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let metrics = Arc::new(Metrics::new());
+        let jobs = JobStore::open(cfg.data_dir, cfg.max_live_jobs, metrics)?;
+        let workers = jobs.start_workers(cfg.workers);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let jobs = Arc::clone(&jobs);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, jobs, stop))
+        };
+        Ok(Server {
+            jobs,
+            addr,
+            stop,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful stop: no new connections, workers exit after their
+    /// current cell, streams end. Blocks until the accept thread and
+    /// workers join.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.jobs.stop();
+        // unblock the accept loop with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, jobs: Arc<JobStore>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let jobs = Arc::clone(&jobs);
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, &jobs);
+        });
+    }
+}
+
+fn handle_connection(stream: TcpStream, jobs: &JobStore) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut w = stream;
+    let Some(req) = http::read_request(&mut reader)? else {
+        return Ok(());
+    };
+    Metrics::bump(&jobs.metrics.http_requests, 1);
+    route(&req, &mut w, jobs)
+}
+
+/// Splits `/jobs/<id>[/records]` into `(id, is_records)`.
+fn job_path(path: &str) -> Option<(u64, bool)> {
+    let rest = path.strip_prefix("/jobs/")?;
+    if let Some(id) = rest.strip_suffix("/records") {
+        Some((id.parse().ok()?, true))
+    } else {
+        Some((rest.parse().ok()?, false))
+    }
+}
+
+fn route(req: &Request, w: &mut TcpStream, jobs: &JobStore) -> io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => http::respond(w, 200, "text/plain", b"ok\n"),
+        ("GET", "/metrics") => {
+            let (live, open) = jobs.gauges();
+            let body = jobs.metrics.render(live, open);
+            http::respond(w, 200, "text/plain; version=0.0.4", body.as_bytes())
+        }
+        ("POST", "/jobs") => post_job(req, w, jobs),
+        (_, "/healthz" | "/metrics" | "/jobs") => {
+            http::respond(w, 405, "text/plain", b"method not allowed\n")
+        }
+        (method, path) => match job_path(path) {
+            Some((id, true)) if method == "GET" => stream_records(req, w, jobs, id),
+            Some((id, false)) if method == "GET" => match jobs.status_json(id) {
+                Some(body) => http::respond(w, 200, "application/json", body.as_bytes()),
+                None => http::respond(w, 404, "text/plain", b"no such job\n"),
+            },
+            Some((id, false)) if method == "DELETE" => {
+                if jobs.cancel(id) {
+                    let body = format!("{{\"id\":{id},\"cancelled\":true}}");
+                    http::respond(w, 200, "application/json", body.as_bytes())
+                } else {
+                    http::respond(w, 404, "text/plain", b"no such job\n")
+                }
+            }
+            Some(_) => http::respond(w, 405, "text/plain", b"method not allowed\n"),
+            None => http::respond(w, 404, "text/plain", b"no such endpoint\n"),
+        },
+    }
+}
+
+fn post_job(req: &Request, w: &mut TcpStream, jobs: &JobStore) -> io::Result<()> {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return http::respond(w, 400, "text/plain", b"body is not UTF-8\n"),
+    };
+    let spec = match spec_json::spec_from_json(text) {
+        Ok(s) => s,
+        Err(e) => {
+            let body = format!("invalid spec: {e}\n");
+            return http::respond(w, 400, "text/plain", body.as_bytes());
+        }
+    };
+    let cells = spec.len();
+    match jobs.submit(spec) {
+        Ok(id) => {
+            let body = format!("{{\"id\":{id},\"cells\":{cells}}}");
+            http::respond(w, 201, "application/json", body.as_bytes())
+        }
+        Err(e @ SubmitError::QueueFull { .. }) => {
+            let body = format!("{e}\n");
+            http::respond(w, 429, "text/plain", body.as_bytes())
+        }
+        Err(e) => {
+            let body = format!("{e}\n");
+            http::respond(w, 400, "text/plain", body.as_bytes())
+        }
+    }
+}
+
+/// `GET /jobs/<id>/records`: chunked NDJSON, one record line per chunk,
+/// in cell order, blocking as cells complete. A `Last-Record: k` request
+/// header skips the first `k` records (the resume handshake: send how
+/// many lines you already hold, receive exactly the rest).
+fn stream_records(req: &Request, w: &mut TcpStream, jobs: &JobStore, id: u64) -> io::Result<()> {
+    if jobs.status_json(id).is_none() {
+        return http::respond(w, 404, "text/plain", b"no such job\n");
+    }
+    let mut k = match req.header("last-record").map(str::parse::<usize>) {
+        None => 0,
+        Some(Ok(k)) => k,
+        Some(Err(_)) => {
+            return http::respond(w, 400, "text/plain", b"bad Last-Record header\n");
+        }
+    };
+    let mut cw = ChunkedWriter::begin(&mut *w, 200, "application/x-ndjson")?;
+    while let NextRecord::Line(line) = jobs.next_record(id, k) {
+        let mut bytes = line.into_bytes();
+        bytes.push(b'\n');
+        cw.chunk(&bytes)?;
+        k += 1;
+    }
+    cw.finish()
+}

@@ -1,0 +1,234 @@
+//! Soak test against the real `dispersion-serve` binary: 16 small
+//! concurrent jobs riding alongside one big torus job (round-robin
+//! fairness must let the small jobs finish first), then a SIGKILL
+//! mid-stream and a restart over the same data directory — the
+//! concatenation of the pre-kill and post-restart streams must be
+//! byte-identical to a single-process run of the same spec.
+
+use dispersion_graphs::families::Family;
+use dispersion_serve::spec_json::spec_to_json;
+use dispersion_serve::Client;
+use dispersion_sim::experiment::Process;
+use dispersion_sim::json::Json;
+use dispersion_sim::runner::Runner;
+use dispersion_sim::sink::MemorySink;
+use dispersion_sim::spec::{Budget, CellSpec, ExperimentSpec, FamilySpec, Measure};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The big job: several torus cells, each substantial enough (even in
+/// debug builds) that the job is still running long after every small
+/// job has drained, and enough cells that a kill lands mid-job with
+/// some cells checkpointed and some not.
+fn big_spec() -> ExperimentSpec {
+    // ~1s per cell in either profile: debug trials are ~20× slower
+    let trials = if cfg!(debug_assertions) { 24 } else { 256 };
+    let mut spec = ExperimentSpec::new(1000);
+    for _ in 0..3 {
+        spec.push(
+            CellSpec::new(
+                FamilySpec::implicit(Family::Torus2d, 1024),
+                Measure::Dispersion(Process::Sequential),
+            )
+            .budget(Budget::Trials(trials)),
+        );
+        spec.push(
+            CellSpec::new(
+                FamilySpec::implicit(Family::Torus2d, 1024),
+                Measure::Dispersion(Process::Parallel),
+            )
+            .budget(Budget::Trials(trials)),
+        );
+    }
+    spec
+}
+
+/// A small job: two cheap clique cells. Each of the 16 submissions gets
+/// its own seed, so the reference records differ per job.
+fn small_spec(seed: u64) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(seed);
+    for process in [Process::Sequential, Process::Parallel] {
+        spec.push(
+            CellSpec::new(
+                FamilySpec::explicit(Family::Complete, 64),
+                Measure::Dispersion(process),
+            )
+            .budget(Budget::Trials(8)),
+        );
+    }
+    spec
+}
+
+fn reference_lines(spec: &ExperimentSpec) -> Vec<String> {
+    Runner::new(1)
+        .run(spec, &[], &mut MemorySink::default())
+        .iter()
+        .map(|r| r.to_json_line())
+        .collect()
+}
+
+struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+fn spawn_server(data_dir: &Path) -> ServerProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dispersion-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--data-dir",
+            &data_dir.display().to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn dispersion-serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening http://")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .parse()
+        .unwrap();
+    ServerProc { child, addr }
+}
+
+fn done_cells(client: &Client, id: u64) -> usize {
+    let Ok(status) = client.status(id) else {
+        return 0;
+    };
+    Json::parse(&status)
+        .ok()
+        .and_then(|doc| {
+            doc.get("cells").and_then(Json::as_arr).map(|cells| {
+                cells
+                    .iter()
+                    .filter(|c| c.get("state").and_then(Json::as_str) == Some("done"))
+                    .count()
+            })
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn soak_sigkill_restart_is_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("serve_soak_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let server = spawn_server(&dir);
+    let client = Client::new(server.addr);
+    assert_eq!(
+        client.request("GET", "/healthz", &[], b"").unwrap().status,
+        200
+    );
+
+    // one big torus job first, then 16 small jobs behind it
+    let big = client.submit(&spec_to_json(&big_spec())).unwrap();
+    let smalls: Vec<(u64, ExperimentSpec)> = (0..16)
+        .map(|k| {
+            let spec = small_spec(2000 + k);
+            let id = client.submit(&spec_to_json(&spec)).unwrap();
+            (id, spec)
+        })
+        .collect();
+
+    // stream the big job's records from a second thread so the kill
+    // lands mid-stream
+    let streamed = Arc::new(Mutex::new(Vec::<String>::new()));
+    let streamer = {
+        let streamed = Arc::clone(&streamed);
+        let client = client.clone();
+        std::thread::spawn(move || {
+            // the server dies mid-stream: the error is expected
+            let _ = client.stream_records(big, 0, &mut |line| {
+                streamed.lock().unwrap().push(line.to_string());
+            });
+        })
+    };
+
+    // fairness: every small job drains while the big job still has open
+    // cells — round-robin claiming must not let the big job starve them
+    for (id, _) in &smalls {
+        client
+            .wait_for(*id, &["done"], Duration::from_secs(60))
+            .unwrap_or_else(|e| panic!("small job {id} starved: {e}"));
+    }
+    let big_done = done_cells(&client, big);
+    let big_total = big_spec().len();
+    assert!(
+        big_done < big_total,
+        "big job finished ({big_done}/{big_total} cells) before the small jobs — \
+         it is sized too small to exercise fairness"
+    );
+
+    // SIGKILL once at least one big cell is checkpointed
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while done_cells(&client, big) < 1 {
+        assert!(Instant::now() < deadline, "no big cell completed in time");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let mut child = server.child;
+    child.kill().unwrap(); // SIGKILL: no flush, no goodbye
+    child.wait().unwrap();
+    streamer.join().unwrap();
+    let pre_kill: Vec<String> = streamed.lock().unwrap().clone();
+
+    // restart over the same data directory
+    let server = spawn_server(&dir);
+    let client = Client::new(server.addr);
+
+    // resumed state: completed cells restored, the rest re-run
+    let metrics = client.request("GET", "/metrics", &[], b"").unwrap().text();
+    assert!(
+        metrics.contains("serve_jobs_resumed_total 1"),
+        "expected exactly the big job live after restart:\n{metrics}"
+    );
+
+    // resume the stream after the records we already hold, then drain
+    let mut all = pre_kill.clone();
+    client
+        .stream_records(big, pre_kill.len(), &mut |line| {
+            all.push(line.to_string());
+        })
+        .unwrap();
+    client
+        .wait_for(big, &["done"], Duration::from_secs(300))
+        .unwrap();
+    // the stream may have ended between restart and job completion; pick
+    // up any remainder
+    client
+        .stream_records(big, all.len(), &mut |line| all.push(line.to_string()))
+        .unwrap();
+
+    assert_eq!(
+        all,
+        reference_lines(&big_spec()),
+        "concatenated pre-kill + post-restart stream differs from a \
+         single-process run"
+    );
+
+    // finished small jobs replay purely from checkpoints, bit-identical
+    for (id, spec) in &smalls {
+        let mut lines = Vec::new();
+        client
+            .stream_records(*id, 0, &mut |line| lines.push(line.to_string()))
+            .unwrap();
+        assert_eq!(&lines, &reference_lines(spec), "small job {id}");
+        assert_eq!(client.status_label(*id).unwrap(), "done");
+    }
+
+    let mut child = server.child;
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

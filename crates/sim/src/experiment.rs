@@ -137,11 +137,19 @@ impl Process {
         rng: &mut R,
     ) -> Result<f64, EngineError> {
         let out = self.run_observed(g, origin, cfg, &mut (), rng)?;
-        Ok(match self {
+        Ok(self.dispersion_of(&out))
+    }
+
+    /// Extracts this process's dispersion time, in its native unit, from
+    /// a finished [`engine::EngineOutcome`] (steps for Sequential, rounds
+    /// for Parallel, global ticks for Uniform, real time for the
+    /// continuous clocks).
+    pub fn dispersion_of(self, out: &engine::EngineOutcome) -> f64 {
+        match self {
             Process::Sequential | Process::Parallel => out.dispersion_time() as f64,
             Process::Uniform => out.settle_tick as f64,
             Process::Ctu | Process::ContinuousSequential => out.time,
-        })
+        }
     }
 }
 

@@ -11,6 +11,9 @@
 //! * [`fit`] — `a·n^b·(ln n)^c` scaling-law fitting for Table 1 shapes,
 //! * [`experiment`] — one-call dispersion-time estimation for any process,
 //! * [`table`] — text/CSV output,
+//! * [`json`] — the shared dependency-free JSON codec (exact f64
+//!   roundtrip; used by the NDJSON sinks and the `dispersion-serve`
+//!   wire format),
 //! * [`spec`] / [`runner`] / [`sink`] — the declarative experiment
 //!   pipeline: describe a (family × size × schedule) grid once as an
 //!   [`spec::ExperimentSpec`], let the streaming [`runner::Runner`]
@@ -36,6 +39,7 @@ pub mod dominance;
 pub mod experiment;
 pub mod fit;
 pub mod histogram;
+pub mod json;
 pub mod parallel;
 pub mod rng;
 pub mod runner;

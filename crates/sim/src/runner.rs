@@ -38,7 +38,36 @@ use crate::rng::{trial_seed, Xoshiro256pp};
 use crate::sink::{Event, Record, Sink, StatSummary};
 use crate::spec::{Budget, CellError, ExperimentSpec, ResolvedCell};
 use crate::stats::Online;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// A cheap shareable cancellation flag, checked at **trial boundaries**:
+/// once [`CancelToken::cancel`] fires, in-flight cells stop before their
+/// next trial and complete with a
+/// [`CellError::Cancelled`] error record (keeping the statistics of the
+/// trials that did finish), and cells not yet started are recorded as
+/// cancelled without resolving their instances. The run still returns one
+/// record per cell.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cooperative cancellation (idempotent, callable from any
+    /// thread).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Trials per work unit. This constant is part of the determinism
 /// contract: chunk boundaries (and hence merge order) must not depend on
@@ -73,6 +102,21 @@ impl Runner {
         resume: &[Record],
         sink: &mut dyn Sink,
     ) -> Vec<Record> {
+        self.run_with_ctrl(spec, resume, sink, &CancelToken::new())
+    }
+
+    /// [`Runner::run`] with an external [`CancelToken`]: firing the token
+    /// stops every cell at its next trial boundary, turning unfinished
+    /// cells into `Cancelled` error records. The serve layer hands each
+    /// job such a token so `DELETE /jobs/<id>` can stop a 500×500-torus
+    /// cell mid-flight instead of letting it run to completion.
+    pub fn run_with_ctrl(
+        &self,
+        spec: &ExperimentSpec,
+        resume: &[Record],
+        sink: &mut dyn Sink,
+        ctrl: &CancelToken,
+    ) -> Vec<Record> {
         let total = spec.cells.len();
         let mut cells: Vec<CellStatus> = (0..total).map(|_| CellStatus::Pending).collect();
         let mut records: Vec<Option<Record>> = vec![None; total];
@@ -106,7 +150,7 @@ impl Runner {
             let sink_mx = Mutex::new(&mut *sink);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..self.threads)
-                    .map(|_| scope.spawn(|| worker(spec, &shared, &sink_mx)))
+                    .map(|_| scope.spawn(|| worker(spec, &shared, &sink_mx, ctrl)))
                     .collect();
                 for h in handles {
                     h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
@@ -165,6 +209,10 @@ impl Active {
 struct ChunkOut {
     /// Per-statistic accumulators over the chunk's trials, in trial order.
     stats: Vec<Online>,
+    /// Trials that completed (= the count folded into `stats`).
+    trials: u64,
+    /// Walk steps those trials performed.
+    steps: u64,
     /// First error, with the trial index it occurred at.
     error: Option<(usize, CellError)>,
 }
@@ -220,14 +268,25 @@ impl Drop for AbortOnPanic<'_> {
     }
 }
 
-fn worker<S: Sink + ?Sized>(spec: &ExperimentSpec, shared: &Shared, sink: &Mutex<&mut S>) {
+fn worker<S: Sink + ?Sized>(
+    spec: &ExperimentSpec,
+    shared: &Shared,
+    sink: &Mutex<&mut S>,
+    ctrl: &CancelToken,
+) {
     let _abort_guard = AbortOnPanic(shared);
     loop {
         let task = claim(shared);
         match task {
             Task::Exit => return,
             Task::Resolve(id) => {
-                let resolved = spec.cells[id].family.resolve();
+                // a fired token short-circuits resolution: unstarted cells
+                // become cancelled records without building their instances
+                let resolved = if ctrl.is_cancelled() {
+                    Err(CellError::Cancelled)
+                } else {
+                    spec.cells[id].family.resolve()
+                };
                 match resolved {
                     Ok(cell) => {
                         let key = spec.cell_key(id);
@@ -267,7 +326,7 @@ fn worker<S: Sink + ?Sized>(spec: &ExperimentSpec, shared: &Shared, sink: &Mutex
                 hi,
                 cell,
             } => {
-                let out = run_chunk(spec, id, &cell, lo, hi);
+                let out = run_chunk(spec, id, &cell, lo, hi, ctrl);
                 let mut st = shared.state.lock().unwrap();
                 deliver(spec, shared, &mut st, id, chunk_idx, out, sink);
             }
@@ -342,27 +401,38 @@ fn claim(shared: &Shared) -> Task {
     }
 }
 
-/// Runs one chunk's trials in trial order.
+/// Runs one chunk's trials in trial order, checking the cancel token at
+/// every trial boundary (the cheap cooperative stop the serve layer's
+/// `DELETE /jobs/<id>` relies on).
 fn run_chunk(
     spec: &ExperimentSpec,
     id: usize,
     cell: &ResolvedCell,
     lo: usize,
     hi: usize,
+    ctrl: &CancelToken,
 ) -> ChunkOut {
     let c = &spec.cells[id];
     let names = c.measure.stat_names();
     let master = spec.master_seed(id);
     let mut stats = vec![Online::new(); names.len()];
     let mut out = vec![0.0; names.len()];
+    let mut trials = 0;
+    let mut steps = 0;
     let mut error = None;
     for t in lo..hi {
+        if ctrl.is_cancelled() {
+            error = Some((t, CellError::Cancelled));
+            break;
+        }
         let mut rng = Xoshiro256pp::new(trial_seed(master, t as u64));
         match c.measure.run_trial(cell, &c.cfg, &mut out, &mut rng) {
-            Ok(()) => {
+            Ok(walked) => {
                 for (acc, &x) in stats.iter_mut().zip(&out) {
                     acc.push(x);
                 }
+                trials += 1;
+                steps += walked;
             }
             Err(e) => {
                 error = Some((t, e));
@@ -370,7 +440,12 @@ fn run_chunk(
             }
         }
     }
-    ChunkOut { stats, error }
+    ChunkOut {
+        stats,
+        trials,
+        steps,
+        error,
+    }
 }
 
 /// Lands a chunk; on round completion merges, decides, and either opens
@@ -384,6 +459,11 @@ fn deliver<S: Sink + ?Sized>(
     out: ChunkOut,
     sink: &Mutex<&mut S>,
 ) {
+    sink.lock().unwrap().on_event(&Event::Chunk {
+        cell: id,
+        trials: out.trials,
+        steps: out.steps,
+    });
     let CellStatus::Active(a) = &mut st.cells[id] else {
         unreachable!("chunk delivered to non-active cell");
     };
@@ -394,7 +474,44 @@ fn deliver<S: Sink + ?Sized>(
         return;
     }
 
-    // round complete: merge chunks in chunk order (deterministic)
+    match finish_round(spec, id, a) {
+        RoundOutcome::Done(record) => {
+            complete_cell(st, shared, id, record, sink);
+            shared.cv.notify_all();
+        }
+        RoundOutcome::Continue {
+            trials_done,
+            relative_ci,
+        } => {
+            shared.cv.notify_all();
+            sink.lock().unwrap().on_event(&Event::Progress {
+                cell: id,
+                trials_done,
+                relative_ci,
+            });
+        }
+    }
+}
+
+/// What [`finish_round`] decided for a cell whose round just completed.
+enum RoundOutcome {
+    /// The cell is finished (success or error) with this record.
+    Done(Record),
+    /// The adaptive budget wants more trials; the next round has been
+    /// opened on the `Active` and these numbers describe progress so far.
+    Continue {
+        /// Trials folded into the merged statistics.
+        trials_done: u64,
+        /// Relative CI half-width of the primary statistic.
+        relative_ci: f64,
+    },
+}
+
+/// Merges a completed round's chunks **in chunk order** into the cell's
+/// running statistics and evaluates its budget. This is the single
+/// decision point shared by the multi-threaded [`Runner`] and the
+/// cell-at-a-time [`run_cell`], which is what keeps the two bit-identical.
+fn finish_round(spec: &ExperimentSpec, id: usize, a: &mut Active) -> RoundOutcome {
     let mut round_error: Option<(usize, CellError)> = None;
     for chunk in a.chunk_results.iter_mut() {
         let chunk = chunk.take().expect("round complete with missing chunk");
@@ -411,10 +528,7 @@ fn deliver<S: Sink + ?Sized>(
     a.trials_done = a.merged.first().map_or(0, |o| o.count() as usize);
 
     if let Some((t, e)) = round_error {
-        let record = error_record_from_active(spec, id, a, t, &e);
-        complete_cell(st, shared, id, record, sink);
-        shared.cv.notify_all();
-        return;
+        return RoundOutcome::Done(error_record_from_active(spec, id, a, t, &e));
     }
 
     let decided_done = match spec.cells[id].budget {
@@ -425,10 +539,7 @@ fn deliver<S: Sink + ?Sized>(
     };
 
     if decided_done {
-        let record = build_record(spec, id, a, None);
-        complete_cell(st, shared, id, record, sink);
-        shared.cv.notify_all();
-        return;
+        return RoundOutcome::Done(build_record(spec, id, a, None));
     }
 
     // open the next round: grow ~1.5× total, clamped to the ceiling
@@ -442,14 +553,93 @@ fn deliver<S: Sink + ?Sized>(
     a.next_chunk = 0;
     a.delivered = 0;
     a.chunk_results = (0..a.n_chunks()).map(|_| None).collect();
-    let trials_done = a.trials_done as u64;
-    let relative_ci = a.merged[0].relative_ci();
-    shared.cv.notify_all();
-    sink.lock().unwrap().on_event(&Event::Progress {
+    RoundOutcome::Continue {
+        trials_done: a.trials_done as u64,
+        relative_ci: a.merged[0].relative_ci(),
+    }
+}
+
+/// Runs a single cell of `spec` to completion on the calling thread,
+/// streaming the same [`Event`]s a [`Runner`] would, and returns its
+/// record.
+///
+/// Chunks run sequentially in chunk order and rounds merge through the
+/// same `finish_round` the runner uses, so the record is **bit-identical**
+/// to the one `Runner::run` produces for that cell at any thread count.
+/// The serve layer's worker pool schedules (job, cell) pairs through this
+/// entry point — cell-grained claims are what let many small jobs drain
+/// past one long-running torus cell.
+pub fn run_cell(
+    spec: &ExperimentSpec,
+    id: usize,
+    ctrl: &CancelToken,
+    sink: &mut dyn Sink,
+) -> Record {
+    let resolved = if ctrl.is_cancelled() {
+        Err(CellError::Cancelled)
+    } else {
+        spec.cells[id].family.resolve()
+    };
+    let cell = match resolved {
+        Ok(cell) => Arc::new(cell),
+        Err(e) => {
+            let record = error_record(spec, id, 0, &e);
+            sink.on_event(&Event::Done {
+                record: &record,
+                resumed: false,
+            });
+            return record;
+        }
+    };
+    let key = spec.cell_key(id);
+    sink.on_event(&Event::Started {
         cell: id,
-        trials_done,
-        relative_ci,
+        key: &key,
     });
+    let mut a = new_active(spec, id, cell);
+    loop {
+        if a.round_len == 0 {
+            // zero-trial budget: complete without running
+            let record = build_record(spec, id, &a, None);
+            sink.on_event(&Event::Done {
+                record: &record,
+                resumed: false,
+            });
+            return record;
+        }
+        for chunk_idx in 0..a.n_chunks() {
+            let lo = a.round_start + chunk_idx * CHUNK;
+            let hi = (lo + CHUNK).min(a.round_start + a.round_len);
+            let cell = Arc::clone(&a.cell);
+            let out = run_chunk(spec, id, &cell, lo, hi, ctrl);
+            sink.on_event(&Event::Chunk {
+                cell: id,
+                trials: out.trials,
+                steps: out.steps,
+            });
+            a.chunk_results[chunk_idx] = Some(out);
+            a.delivered += 1;
+        }
+        match finish_round(spec, id, &mut a) {
+            RoundOutcome::Done(record) => {
+                sink.on_event(&Event::Done {
+                    record: &record,
+                    resumed: false,
+                });
+                return record;
+            }
+            RoundOutcome::Continue {
+                trials_done,
+                relative_ci,
+            } => {
+                sink.on_event(&Event::Progress {
+                    cell: id,
+                    trials_done,
+                    relative_ci,
+                });
+            }
+        }
+    }
 }
 
 /// Marks a cell done, stores its record and emits the `Done` event.
@@ -760,6 +950,107 @@ mod tests {
         let again = Runner::new(2).run(&spec, &stale, &mut sink2);
         assert_eq!(again, full);
         assert_eq!(sink2.resumed, 2);
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_cancelled_records() {
+        let spec = tiny_spec();
+        let ctrl = CancelToken::new();
+        ctrl.cancel();
+        let mut sink = MemorySink::default();
+        let records = Runner::new(4).run_with_ctrl(&spec, &[], &mut sink, &ctrl);
+        assert_eq!(records.len(), 3);
+        for r in &records {
+            assert!(
+                r.error.as_ref().unwrap().contains("cancelled"),
+                "{:?}",
+                r.error
+            );
+            assert_eq!(r.trials, 0);
+        }
+        assert_eq!(sink.started, 0, "cancelled cells never resolve");
+    }
+
+    #[test]
+    fn cancel_mid_run_keeps_finished_cells_and_resumes_cleanly() {
+        // cancel after the first Done: earlier cells keep their records,
+        // later ones become Cancelled — and a resume with the kept records
+        // reproduces the uninterrupted run exactly
+        struct CancelAfterFirst<'a>(&'a CancelToken, MemorySink);
+        impl Sink for CancelAfterFirst<'_> {
+            fn on_event(&mut self, e: &Event) {
+                if matches!(e, Event::Done { .. }) {
+                    self.0.cancel();
+                }
+                self.1.on_event(e);
+            }
+        }
+        let spec = tiny_spec();
+        let full = Runner::new(1).run(&spec, &[], &mut MemorySink::default());
+        let ctrl = CancelToken::new();
+        let mut sink = CancelAfterFirst(&ctrl, MemorySink::default());
+        let partial = Runner::new(1).run_with_ctrl(&spec, &[], &mut sink, &ctrl);
+        let kept: Vec<Record> = partial
+            .iter()
+            .filter(|r| r.error.is_none())
+            .cloned()
+            .collect();
+        assert!(!kept.is_empty() && kept.len() < spec.len());
+        for r in &partial {
+            if let Some(err) = &r.error {
+                assert!(err.contains("cancelled"));
+            }
+        }
+        let resumed = Runner::new(2).run(&spec, &kept, &mut MemorySink::default());
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn run_cell_matches_runner() {
+        let spec = tiny_spec();
+        let full = Runner::new(4).run(&spec, &[], &mut MemorySink::default());
+        let ctrl = CancelToken::new();
+        for (id, want) in full.iter().enumerate() {
+            let mut sink = MemorySink::default();
+            let r = run_cell(&spec, id, &ctrl, &mut sink);
+            assert_eq!(&r, want, "cell {id}");
+            assert_eq!(sink.records.len(), 1);
+            assert!(sink.chunks > 0);
+            assert!(sink.steps > 0);
+        }
+        // adaptive budgets go through the same finish_round decisions
+        let mut adaptive = ExperimentSpec::new(5);
+        adaptive.push(
+            CellSpec::new(
+                FamilySpec::explicit(Family::Complete, 64),
+                Measure::Dispersion(Process::Sequential),
+            )
+            .budget(Budget::CiHalfWidth {
+                rel: 0.08,
+                min_trials: 16,
+                max_trials: 4000,
+            }),
+        );
+        let via_runner = Runner::new(8).run(&adaptive, &[], &mut MemorySink::default());
+        let solo = run_cell(&adaptive, 0, &ctrl, &mut MemorySink::default());
+        assert_eq!(solo, via_runner[0]);
+    }
+
+    #[test]
+    fn chunk_events_count_trials_and_steps() {
+        let spec = tiny_spec();
+        let mut sink = MemorySink::default();
+        let records = Runner::new(2).run(&spec, &[], &mut sink);
+        let total_trials: u64 = records.iter().map(|r| r.trials).sum();
+        assert_eq!(sink.trials, total_trials);
+        assert!(sink.steps > 0);
+        assert_eq!(
+            sink.chunks,
+            records
+                .iter()
+                .map(|r| r.trials.div_ceil(CHUNK as u64))
+                .sum::<u64>() as usize
+        );
     }
 
     #[test]

@@ -17,8 +17,11 @@
 //! Records round-trip through NDJSON *exactly*: floats are serialised with
 //! Rust's shortest-roundtrip formatting and parsed back bit-identically,
 //! which is what makes kill + `--resume` restarts reproduce the
-//! uninterrupted run.
+//! uninterrupted run. The value type and the scalar encoders live in the
+//! shared [`crate::json`] module — the same codec the `dispersion-serve`
+//! HTTP layer speaks.
 
+use crate::json::{fmt_f64, fmt_str, Json};
 use crate::stats::Online;
 use std::io::Write;
 
@@ -111,15 +114,15 @@ impl Record {
         s.push_str(&format!(
             "{{\"cell\":{},\"key\":{},\"family\":{},\"n\":{},\"measure\":{},\"backend\":{},\"trials\":{},\"error\":{},\"stats\":[",
             self.cell,
-            json_string(&self.key),
-            json_string(&self.family),
+            fmt_str(&self.key),
+            fmt_str(&self.family),
             self.n,
-            json_string(&self.measure),
-            json_string(&self.backend),
+            fmt_str(&self.measure),
+            fmt_str(&self.backend),
             self.trials,
             match &self.error {
                 None => "null".to_string(),
-                Some(e) => json_string(e),
+                Some(e) => fmt_str(e),
             },
         ));
         for (i, st) in self.stats.iter().enumerate() {
@@ -128,11 +131,11 @@ impl Record {
             }
             s.push_str(&format!(
                 "{{\"stat\":{},\"mean\":{},\"var\":{},\"min\":{},\"max\":{}}}",
-                json_string(&st.name),
-                json_f64(st.mean),
-                json_f64(st.var),
-                json_f64(st.min),
-                json_f64(st.max),
+                fmt_str(&st.name),
+                fmt_f64(st.mean),
+                fmt_f64(st.var),
+                fmt_f64(st.min),
+                fmt_f64(st.max),
             ));
         }
         s.push_str("]}");
@@ -207,263 +210,6 @@ impl Record {
     }
 }
 
-/// Serialises an f64 as a JSON-compatible token with exact roundtrip;
-/// non-finite values (possible in min/max of empty error cells) are
-/// encoded as strings the parser maps back.
-fn json_f64(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else if x.is_nan() {
-        "\"nan\"".to_string()
-    } else if x > 0.0 {
-        "\"inf\"".to_string()
-    } else {
-        "\"-inf\"".to_string()
-    }
-}
-
-/// JSON-escapes a string, including the surrounding quotes.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Minimal JSON value for parsing checkpoint lines — just what
-/// [`Record::from_json_line`] needs, no external dependency.
-#[derive(Clone, Debug, PartialEq)]
-enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (as f64; also decodes `"nan"`/`"inf"` markers via
-    /// [`Json::as_num`] on strings).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in key order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(x) => Some(*x),
-            // non-finite floats travel as marker strings
-            Json::Str(s) => match s.as_str() {
-                "nan" => Some(f64::NAN),
-                "inf" => Some(f64::INFINITY),
-                "-inf" => Some(f64::NEG_INFINITY),
-                _ => None,
-            },
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    fn as_obj(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Obj(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// Parses a complete JSON document (rejecting trailing garbage).
-    fn parse(s: &str) -> Result<Json, String> {
-        let bytes = s.as_bytes();
-        let mut pos = 0;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing characters at byte {pos}"));
-        }
-        Ok(v)
-    }
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut obj = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(obj));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = match parse_value(b, pos)? {
-                    Json::Str(s) => s,
-                    other => return Err(format!("object key must be a string, got {other:?}")),
-                };
-                skip_ws(b, pos);
-                if b.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
-                }
-                *pos += 1;
-                obj.push((key, parse_value(b, pos)?));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(obj));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut arr = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(arr));
-            }
-            loop {
-                arr.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(arr));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => parse_string(b, pos).map(Json::Str),
-        Some(b'n') => expect_lit(b, pos, "null").map(|()| Json::Null),
-        Some(b't') => expect_lit(b, pos, "true").map(|()| Json::Bool(true)),
-        Some(b'f') => expect_lit(b, pos, "false").map(|()| Json::Bool(false)),
-        Some(_) => {
-            let start = *pos;
-            while *pos < b.len()
-                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-            {
-                *pos += 1;
-            }
-            let tok = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-            tok.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|_| format!("bad number {tok:?} at byte {start}"))
-        }
-    }
-}
-
-fn expect_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(())
-    } else {
-        Err(format!("expected {lit:?} at byte {pos}", pos = *pos))
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    debug_assert_eq!(b[*pos], b'"');
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                let esc = *b.get(*pos).ok_or("unterminated escape")?;
-                *pos += 1;
-                match esc {
-                    b'"' => out.push('"'),
-                    b'\\' => out.push('\\'),
-                    b'/' => out.push('/'),
-                    b'n' => out.push('\n'),
-                    b'r' => out.push('\r'),
-                    b't' => out.push('\t'),
-                    b'b' => out.push('\u{8}'),
-                    b'f' => out.push('\u{c}'),
-                    b'u' => {
-                        let hex = parse_hex4(b, pos)?;
-                        if (0xD800..0xDC00).contains(&hex) {
-                            // high surrogate: a \uXXXX low surrogate must follow
-                            if b.get(*pos) == Some(&b'\\') && b.get(*pos + 1) == Some(&b'u') {
-                                *pos += 2;
-                                let lo = parse_hex4(b, pos)?;
-                                let c = 0x10000 + ((hex - 0xD800) << 10) + (lo - 0xDC00);
-                                out.push(char::from_u32(c).ok_or("bad surrogate pair")?);
-                            } else {
-                                return Err("lone high surrogate".into());
-                            }
-                        } else {
-                            out.push(char::from_u32(hex).ok_or("bad \\u escape")?);
-                        }
-                    }
-                    other => return Err(format!("bad escape \\{}", other as char)),
-                }
-            }
-            Some(_) => {
-                // consume one UTF-8 scalar
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let ch = rest.chars().next().unwrap();
-                out.push(ch);
-                *pos += ch.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
-    let end = *pos + 4;
-    let hex = b
-        .get(*pos..end)
-        .and_then(|s| std::str::from_utf8(s).ok())
-        .ok_or("truncated \\u escape")?;
-    let v = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape {hex:?}"))?;
-    *pos = end;
-    Ok(v)
-}
-
 /// Reads all records from NDJSON text, skipping blank lines.
 ///
 /// # Errors
@@ -477,6 +223,55 @@ pub fn parse_ndjson(text: &str) -> Result<Vec<Record>, String> {
         .collect()
 }
 
+/// A malformed tail found (and skipped) by [`parse_ndjson_lossy`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TornTail {
+    /// 1-based line number of the first malformed line.
+    pub line: usize,
+    /// Byte offset of that line's start — the prefix `text[..offset]` is
+    /// the well-formed part a repair should truncate the file to.
+    pub offset: usize,
+    /// Why the line failed to parse.
+    pub error: String,
+}
+
+/// Crash-tolerant checkpoint parse: reads records up to the first
+/// malformed line and reports that line as a [`TornTail`] instead of
+/// failing — a process killed mid-`write` leaves exactly this shape
+/// (complete lines, then one torn line at the end). Everything after the
+/// torn line is ignored; callers that find interior garbage followed by
+/// more data are looking at a corrupt (not torn) file and can tell by
+/// checking `offset` against the text length.
+pub fn parse_ndjson_lossy(text: &str) -> (Vec<Record>, Option<TornTail>) {
+    let mut records = Vec::new();
+    let mut offset = 0;
+    for (i, line) in text.lines().enumerate() {
+        if !line.trim().is_empty() {
+            match Record::from_json_line(line) {
+                Ok(r) => records.push(r),
+                Err(e) => {
+                    return (
+                        records,
+                        Some(TornTail {
+                            line: i + 1,
+                            offset,
+                            error: e,
+                        }),
+                    )
+                }
+            }
+        }
+        // `lines()` strips the terminator; step past it when present
+        offset += line.len();
+        if text[offset..].starts_with("\r\n") {
+            offset += 2;
+        } else if text[offset..].starts_with('\n') {
+            offset += 1;
+        }
+    }
+    (records, None)
+}
+
 /// A streamed runner event.
 #[derive(Clone, Debug)]
 pub enum Event<'a> {
@@ -486,6 +281,17 @@ pub enum Event<'a> {
         cell: usize,
         /// The cell's fingerprint key.
         key: &'a str,
+    },
+    /// A work chunk of a cell landed (chunk-grained progress: what a
+    /// serving layer aggregates into live trial counts and steps/s).
+    /// Counts are *deltas* for the one chunk, not cumulative totals.
+    Chunk {
+        /// Cell id.
+        cell: usize,
+        /// Trials the chunk completed.
+        trials: u64,
+        /// Walk steps those trials performed.
+        steps: u64,
     },
     /// An adaptive cell finished a round without meeting its budget yet.
     Progress {
@@ -522,6 +328,12 @@ pub struct MemorySink {
     pub records: Vec<Record>,
     /// Number of `Started` events seen.
     pub started: usize,
+    /// Number of `Chunk` events seen.
+    pub chunks: usize,
+    /// Trials summed over `Chunk` events.
+    pub trials: u64,
+    /// Walk steps summed over `Chunk` events.
+    pub steps: u64,
     /// Number of `Progress` events seen.
     pub progress: usize,
     /// Number of resumed records among `records`.
@@ -532,6 +344,11 @@ impl Sink for MemorySink {
     fn on_event(&mut self, event: &Event) {
         match event {
             Event::Started { .. } => self.started += 1,
+            Event::Chunk { trials, steps, .. } => {
+                self.chunks += 1;
+                self.trials += trials;
+                self.steps += steps;
+            }
             Event::Progress { .. } => self.progress += 1,
             Event::Done { record, resumed } => {
                 self.records.push((*record).clone());
@@ -920,19 +737,21 @@ mod tests {
     }
 
     #[test]
-    fn json_parser_rejects_garbage() {
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1,]").is_err());
-        assert!(Json::parse("{\"a\" 1}").is_err());
-        assert!(Json::parse("123 junk").is_err());
-        assert!(Json::parse("\"\\q\"").is_err());
-        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
-        assert_eq!(
-            Json::parse(" {\"a\": [1, \"\\u00e9\\ud83e\\udd80\"]} ").unwrap(),
-            Json::Obj(vec![(
-                "a".into(),
-                Json::Arr(vec![Json::Num(1.0), Json::Str("é🦀".into())])
-            )])
-        );
+    fn lossy_parse_stops_at_torn_tail() {
+        let r = sample_record();
+        let line = r.to_json_line();
+        // a kill mid-write tears the final line at an arbitrary byte
+        let torn = format!("{line}\n{line}\n{}", &line[..line.len() / 2]);
+        let (records, tail) = parse_ndjson_lossy(&torn);
+        assert_eq!(records.len(), 2);
+        let tail = tail.expect("torn tail detected");
+        assert_eq!(tail.line, 3);
+        assert_eq!(&torn[..tail.offset], &format!("{line}\n{line}\n"));
+        // a clean file has no tail
+        let (records, tail) = parse_ndjson_lossy(&format!("{line}\n\n{line}\n"));
+        assert_eq!(records.len(), 2);
+        assert!(tail.is_none());
+        // empty input parses to nothing
+        assert_eq!(parse_ndjson_lossy(""), (Vec::new(), None));
     }
 }

@@ -246,7 +246,10 @@ impl Measure {
     }
 
     /// Runs one trial on a resolved backend, writing one value per
-    /// [`Measure::stat_names`] entry into `out`.
+    /// [`Measure::stat_names`] entry into `out` and returning the trial's
+    /// total walk-step count (what the engine's `Odometer` observer counts
+    /// as `steps`) — the raw material for throughput metrics like the
+    /// serve layer's steps/s gauge.
     ///
     /// # Errors
     ///
@@ -263,7 +266,7 @@ impl Measure {
         cfg: &ProcessConfig,
         out: &mut [f64],
         rng: &mut R,
-    ) -> Result<(), CellError> {
+    ) -> Result<u64, CellError> {
         assert_eq!(out.len(), self.stat_names().len(), "stat arity mismatch");
         with_resolved_topology!(&cell.topo, t => self.run_on(t, cell.origin, cfg, out, rng))
     }
@@ -276,16 +279,19 @@ impl Measure {
         cfg: &ProcessConfig,
         out: &mut [f64],
         rng: &mut R,
-    ) -> Result<(), CellError> {
-        match self {
+    ) -> Result<u64, CellError> {
+        let steps = match self {
             Measure::Dispersion(p) => {
-                out[0] = p.try_dispersion_time(g, origin, cfg, rng)?;
+                let o = p.run_observed(g, origin, cfg, &mut (), rng)?;
+                out[0] = p.dispersion_of(&o);
+                o.total_steps
             }
             Measure::ParallelWithHalf => {
                 let mut phases = PhaseTimes::for_particles(g.n());
                 let o = Process::Parallel.run_observed(g, origin, cfg, &mut phases, rng)?;
                 out[0] = o.dispersion_time() as f64;
                 out[1] = phases.phases[PhaseTimes::half_index(g.n())] as f64;
+                o.total_steps
             }
             Measure::TotalSteps(p) => {
                 // continuous clocks do not change the jump sequence
@@ -293,7 +299,9 @@ impl Measure {
                     Process::ContinuousSequential => Process::Sequential,
                     p => *p,
                 };
-                out[0] = p.run_observed(g, origin, cfg, &mut (), rng)?.total_steps as f64;
+                let o = p.run_observed(g, origin, cfg, &mut (), rng)?;
+                out[0] = o.total_steps as f64;
+                o.total_steps
             }
             Measure::TorusShapeHalfFill => {
                 let n = g.n();
@@ -312,7 +320,7 @@ impl Measure {
                 // under the Sequential schedule
                 let mut phases = PhaseTimes::in_ticks(particles);
                 let ecfg = EngineConfig::with_particles(particles, origin, cfg);
-                engine::run(
+                let o = engine::run(
                     g,
                     &mut schedule::Sequential::new(),
                     &FirstVacant,
@@ -327,22 +335,27 @@ impl Measure {
                 out[3] = s.roundness();
                 out[4] = time.max_steps as f64;
                 out[5] = phases.phases[j_half] as f64;
+                o.total_steps
             }
             Measure::CoverTime => {
-                out[0] = cover_time(g, origin, cfg.step_cap, rng)?;
+                let (cover, steps) = cover_time(g, origin, cfg.step_cap, rng)?;
+                out[0] = cover;
+                steps
             }
-        }
-        Ok(())
+        };
+        Ok(steps)
     }
 }
 
 /// Simple-random-walk cover time from `origin`, on any neighbour oracle.
+/// Returns `(cover_time, steps)` — identical here, but typed apart so the
+/// caller can feed the step count into throughput accounting.
 fn cover_time<T: Topology + ?Sized, R: Rng + ?Sized>(
     g: &T,
     origin: Vertex,
     cap: u64,
     rng: &mut R,
-) -> Result<f64, CellError> {
+) -> Result<(f64, u64), CellError> {
     let n = g.n();
     let mut visited = vec![false; n];
     visited[origin as usize] = true;
@@ -365,7 +378,7 @@ fn cover_time<T: Topology + ?Sized, R: Rng + ?Sized>(
             }));
         }
     }
-    Ok(steps as f64)
+    Ok((steps as f64, steps))
 }
 
 /// How many trials a cell runs.
@@ -535,6 +548,10 @@ pub enum CellError {
     Engine(EngineError),
     /// The spec asked for something the backend cannot do.
     Invalid(String),
+    /// A [`CancelToken`](crate::runner::CancelToken) fired: the cell was
+    /// stopped cooperatively at a trial boundary, keeping the statistics
+    /// of the trials that completed.
+    Cancelled,
 }
 
 impl From<EngineError> for CellError {
@@ -548,6 +565,7 @@ impl std::fmt::Display for CellError {
         match self {
             CellError::Engine(e) => write!(f, "{e}"),
             CellError::Invalid(msg) => write!(f, "{msg}"),
+            CellError::Cancelled => write!(f, "cancelled"),
         }
     }
 }
