@@ -2,35 +2,62 @@
 //!
 //! The aggregate of an IDLA process is the set of vertices on which a
 //! particle has settled. The hot loop queries and updates it once per walk
-//! step, so it is a flat bitmap plus a settled counter.
+//! step, so it is a flat bitmap plus a settled counter — stored as packed
+//! 64-bit words (8× denser than `Vec<bool>`, so far more of a big torus
+//! fits in cache) behind relaxed atomics so the partitioned engine's walker
+//! threads can read it, and the merge pass can settle through a shared
+//! reference, without copying the map per round. Occupancy is monotone
+//! (bits only ever turn on), which is what makes relaxed ordering sound:
+//! a stale read can only under-report the aggregate, and every reader that
+//! needs the authoritative answer (the settle-merge) re-checks on the
+//! thread that performs all writes.
 
 use dispersion_graphs::Vertex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Which vertices are occupied by settled particles.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Occupancy {
-    occupied: Vec<bool>,
-    count: usize,
+    words: Vec<AtomicU64>,
+    n: usize,
+    count: AtomicUsize,
+}
+
+impl Clone for Occupancy {
+    fn clone(&self) -> Self {
+        Occupancy {
+            words: self
+                .words
+                .iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect(),
+            n: self.n,
+            count: AtomicUsize::new(self.count.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Occupancy {
     /// All-vacant occupancy for `n` vertices.
     pub fn new(n: usize) -> Self {
         Occupancy {
-            occupied: vec![false; n],
-            count: 0,
+            words: (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            n,
+            count: AtomicUsize::new(0),
         }
     }
 
     /// Number of vertices.
     pub fn n(&self) -> usize {
-        self.occupied.len()
+        self.n
     }
 
     /// Whether `v` is occupied.
     #[inline]
     pub fn is_occupied(&self, v: Vertex) -> bool {
-        self.occupied[v as usize]
+        let v = v as usize;
+        debug_assert!(v < self.n);
+        self.words[v >> 6].load(Ordering::Relaxed) >> (v & 63) & 1 == 1
     }
 
     /// Marks `v` occupied.
@@ -41,43 +68,49 @@ impl Occupancy {
     /// settled again; hitting this indicates a scheduler bug.
     #[inline]
     pub fn settle(&mut self, v: Vertex) {
+        self.settle_shared(v);
+    }
+
+    /// Marks `v` occupied through a shared reference. Only the engine's
+    /// merge thread calls this (settling is single-writer even in the
+    /// partitioned engine); the shared signature exists so it can run while
+    /// walker threads hold `&Occupancy`. Panics on double-settle like
+    /// [`Occupancy::settle`].
+    #[inline]
+    pub fn settle_shared(&self, v: Vertex) {
+        let vi = v as usize;
+        debug_assert!(vi < self.n);
+        let prev = self.words[vi >> 6].fetch_or(1 << (vi & 63), Ordering::Relaxed);
         assert!(
-            !self.occupied[v as usize],
+            prev >> (vi & 63) & 1 == 0,
             "vertex {v} settled twice: scheduler bug"
         );
-        self.occupied[v as usize] = true;
-        self.count += 1;
+        self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of occupied vertices.
     #[inline]
     pub fn settled_count(&self) -> usize {
-        self.count
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Whether every vertex is occupied.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.count == self.occupied.len()
+        self.settled_count() == self.n
     }
 
     /// The currently vacant vertices (ascending).
     pub fn vacant(&self) -> Vec<Vertex> {
-        self.occupied
-            .iter()
-            .enumerate()
-            .filter(|(_, &o)| !o)
-            .map(|(v, _)| v as Vertex)
+        (0..self.n as Vertex)
+            .filter(|&v| !self.is_occupied(v))
             .collect()
     }
 
     /// The currently occupied vertices — the aggregate `A(t)` (ascending).
     pub fn aggregate(&self) -> Vec<Vertex> {
-        self.occupied
-            .iter()
-            .enumerate()
-            .filter(|(_, &o)| o)
-            .map(|(v, _)| v as Vertex)
+        (0..self.n as Vertex)
+            .filter(|&v| self.is_occupied(v))
             .collect()
     }
 }
@@ -115,5 +148,36 @@ mod tests {
         let mut o = Occupancy::new(2);
         o.settle(0);
         o.settle(0);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        // Vertices straddling the u64 word edges behave like any other.
+        let mut o = Occupancy::new(200);
+        for v in [0u32, 63, 64, 127, 128, 191, 199] {
+            assert!(!o.is_occupied(v));
+            o.settle(v);
+            assert!(o.is_occupied(v));
+        }
+        assert_eq!(o.settled_count(), 7);
+        assert_eq!(o.aggregate(), vec![0, 63, 64, 127, 128, 191, 199]);
+        let clone = o.clone();
+        assert_eq!(clone.aggregate(), o.aggregate());
+        assert_eq!(clone.settled_count(), 7);
+    }
+
+    #[test]
+    fn shared_settle_visible_across_threads() {
+        let o = Occupancy::new(1024);
+        std::thread::scope(|s| {
+            let or = &o;
+            s.spawn(move || {
+                for v in (0..1024).step_by(2) {
+                    or.settle_shared(v);
+                }
+            });
+        });
+        assert_eq!(o.settled_count(), 512);
+        assert!(o.is_occupied(0) && o.is_occupied(2) && !o.is_occupied(3));
     }
 }

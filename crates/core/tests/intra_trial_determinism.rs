@@ -1,0 +1,256 @@
+//! Bit-equality gates for the partitioned (intra-trial parallel) engine:
+//! for every walker-thread count the partitioned runner must reproduce the
+//! serial engine exactly — same [`engine::EngineOutcome`], same observer
+//! event stream with identical [`engine::EngineView`] snapshots, same RNG
+//! exit state — on explicit CSR and implicit backends, with full and
+//! partial particle counts, under generalized settle rules, and on both
+//! sides of the inline/fan-out width threshold.
+//!
+//! These are the correctness carriers for `--walker-threads`: on a
+//! single-core host the knob cannot be validated by speed, only by the
+//! promise that it never changes a single bit of any result.
+
+use dispersion_core::engine::observer::{
+    DispersionTime, Odometer, PerParticleSteps, PhaseTimes, TrajectoryBlock,
+};
+use dispersion_core::engine::rule::{DelayedExcept, SettleRule};
+use dispersion_core::engine::{
+    self, partition, schedule, EngineConfig, EngineOutcome, EngineView, FirstVacant, Observer,
+};
+use dispersion_core::process::ProcessConfig;
+use dispersion_graphs::generators::{cycle, torus2d};
+use dispersion_graphs::topology::{Hypercube, Torus2d};
+use dispersion_graphs::{Topology, Vertex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Records every observer callback together with the [`EngineView`] fields
+/// visible at that moment, so "same events in the same order with the same
+/// view" is a single `Vec` equality.
+#[derive(Default, PartialEq, Debug)]
+struct EventLog {
+    events: Vec<(&'static str, usize, Vertex, u64, u64, usize, usize)>,
+}
+
+impl EventLog {
+    fn push(&mut self, tag: &'static str, pid: usize, pos: Vertex, view: &EngineView<'_>) {
+        self.events.push((
+            tag,
+            pid,
+            pos,
+            view.clock.ticks,
+            view.clock.rounds,
+            view.unsettled,
+            view.occ.settled_count(),
+        ));
+    }
+}
+
+impl Observer for EventLog {
+    fn on_spawn(&mut self, pid: usize, pos: Vertex, view: &EngineView<'_>) {
+        self.push("spawn", pid, pos, view);
+    }
+    fn on_start(&mut self, view: &EngineView<'_>) {
+        self.push("start", 0, 0, view);
+    }
+    fn on_tick(&mut self, pid: usize, view: &EngineView<'_>) {
+        self.push("tick", pid, view.positions[pid], view);
+    }
+    fn on_step(&mut self, pid: usize, pos: Vertex, view: &EngineView<'_>) {
+        self.push("step", pid, pos, view);
+    }
+    fn on_settle(&mut self, pid: usize, pos: Vertex, view: &EngineView<'_>) {
+        self.push("settle", pid, pos, view);
+    }
+    fn on_round(&mut self, view: &EngineView<'_>) {
+        self.push("round", 0, 0, view);
+    }
+    fn on_finish(&mut self, view: &EngineView<'_>) {
+        self.push("finish", 0, 0, view);
+    }
+}
+
+fn outcome_eq(a: &EngineOutcome, b: &EngineOutcome, what: &str) {
+    assert_eq!(a.steps, b.steps, "{what}: steps");
+    assert_eq!(a.settled_at, b.settled_at, "{what}: settled_at");
+    assert_eq!(a.total_steps, b.total_steps, "{what}: total_steps");
+    assert_eq!(a.ticks, b.ticks, "{what}: ticks");
+    assert_eq!(a.settle_tick, b.settle_tick, "{what}: settle_tick");
+    assert_eq!(a.rounds, b.rounds, "{what}: rounds");
+    assert_eq!(a.time.to_bits(), b.time.to_bits(), "{what}: time");
+}
+
+/// Serial reference + per-thread-count partitioned runs of one
+/// configuration; every observable is compared bit-for-bit.
+fn assert_walker_thread_invariant<T, Q>(g: &T, rule: &Q, cfg: &EngineConfig, seed: u64, what: &str)
+where
+    T: Topology + Sync + ?Sized,
+    Q: SettleRule,
+{
+    let k = cfg.particles;
+    let run_full = |rng: &mut StdRng, wt: Option<usize>| {
+        let mut log = EventLog::default();
+        let mut time = DispersionTime::default();
+        let mut odo = Odometer::default();
+        let mut traj = TrajectoryBlock::new();
+        let mut phases = PhaseTimes::for_particles(k);
+        let mut pps = PerParticleSteps::default();
+        let out = {
+            let mut obs = (
+                &mut log,
+                &mut time,
+                (&mut odo, &mut traj),
+                &mut phases,
+                &mut pps,
+            );
+            match wt {
+                None => engine::run(g, &mut schedule::Parallel::new(), rule, cfg, &mut obs, rng),
+                Some(wt) => {
+                    let mut cfg_t = *cfg;
+                    cfg_t.walker_threads = wt;
+                    partition::run_parallel(g, rule, &cfg_t, &mut obs, rng)
+                }
+            }
+        }
+        .unwrap();
+        (out, log, time, odo, traj.into_block(), phases, pps)
+    };
+
+    let mut serial_rng = StdRng::seed_from_u64(seed);
+    let serial = run_full(&mut serial_rng, None);
+    for wt in THREADS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let part = run_full(&mut rng, Some(wt));
+        let what = format!("{what}, walker_threads={wt}");
+        outcome_eq(&serial.0, &part.0, &what);
+        assert_eq!(serial.1, part.1, "{what}: observer event stream");
+        assert_eq!(
+            serial.2.max_steps, part.2.max_steps,
+            "{what}: DispersionTime"
+        );
+        assert_eq!(serial.2.settle_tick, part.2.settle_tick, "{what}");
+        assert_eq!(
+            (serial.3.steps, serial.3.ticks),
+            (part.3.steps, part.3.ticks),
+            "{what}: Odometer"
+        );
+        assert_eq!(
+            (serial.3.settles, serial.3.rounds),
+            (part.3.settles, part.3.rounds),
+            "{what}: Odometer"
+        );
+        assert_eq!(serial.4, part.4, "{what}: trajectory block");
+        assert_eq!(serial.5.phases, part.5.phases, "{what}: PhaseTimes");
+        assert_eq!(serial.6.steps, part.6.steps, "{what}: PerParticleSteps");
+        // the partitioned engine rewinds its speculative over-draw, so the
+        // generators must agree on everything drawn *after* the run too
+        let mut s = serial_rng.clone();
+        for i in 0..64 {
+            assert_eq!(s.next_u64(), rng.next_u64(), "{what}: RNG draw {i}");
+        }
+    }
+}
+
+#[test]
+fn full_fill_bit_identical_across_walker_threads() {
+    // n > INLINE_THRESHOLD forces wide (fanned-out) rounds early and
+    // narrow (inline) rounds late, so one fill crosses both paths
+    let g = torus2d(20);
+    let cfg = EngineConfig::full(&g, 0, &ProcessConfig::simple());
+    assert_walker_thread_invariant(&g, &FirstVacant, &cfg, 9001, "torus2d(20) explicit");
+
+    let c = cycle(320);
+    let cfg = EngineConfig::full(&c, 160, &ProcessConfig::simple());
+    assert_walker_thread_invariant(&c, &FirstVacant, &cfg, 9002, "cycle(320) explicit");
+}
+
+#[test]
+fn implicit_backends_bit_identical_across_walker_threads() {
+    let t = Torus2d::new(24);
+    let cfg = EngineConfig::full(&t, 0, &ProcessConfig::simple());
+    assert_walker_thread_invariant(&t, &FirstVacant, &cfg, 9003, "Torus2d(24) implicit");
+
+    let h = Hypercube::new(9);
+    let cfg = EngineConfig::full(&h, 0, &ProcessConfig::lazy());
+    assert_walker_thread_invariant(&h, &FirstVacant, &cfg, 9004, "Hypercube(9) implicit lazy");
+}
+
+#[test]
+fn partial_particle_counts_bit_identical() {
+    // k < n keeps the active set wide for most of the run and leaves
+    // vacancies at the end — both merge paths see unsettled > 0 exits
+    let g = cycle(800);
+    let cfg = EngineConfig::with_particles(280, 0, &ProcessConfig::simple());
+    assert_walker_thread_invariant(&g, &FirstVacant, &cfg, 9005, "cycle(800) k=280");
+}
+
+#[test]
+fn generalized_settle_rules_bit_identical() {
+    // DelayedExcept makes should_settle depend on per-particle step counts,
+    // so any divergence in the merge's step bookkeeping becomes visible
+    let g = torus2d(18);
+    let rule = DelayedExcept {
+        threshold: 12,
+        special: 5,
+    };
+    let cfg = EngineConfig::full(&g, 0, &ProcessConfig::simple());
+    assert_walker_thread_invariant(&g, &rule, &cfg, 9006, "torus2d(18) DelayedExcept");
+}
+
+#[test]
+fn narrow_runs_stay_on_the_inline_path_and_agree() {
+    // entirely below INLINE_THRESHOLD: the partitioned engine must be the
+    // serial engine verbatim (no speculation, no rewinds)
+    let g = torus2d(9);
+    let cfg = EngineConfig::full(&g, 0, &ProcessConfig::simple());
+    assert_walker_thread_invariant(&g, &FirstVacant, &cfg, 9007, "torus2d(9) narrow");
+}
+
+#[test]
+fn step_cap_error_and_rng_state_bit_identical() {
+    let g = cycle(500);
+    let mut cfg = EngineConfig::full(&g, 0, &ProcessConfig::simple());
+    cfg.step_cap = 9_000;
+    let mut serial_rng = StdRng::seed_from_u64(77);
+    let serial_err = engine::run(
+        &g,
+        &mut schedule::Parallel::new(),
+        &FirstVacant,
+        &cfg,
+        &mut (),
+        &mut serial_rng,
+    )
+    .unwrap_err();
+    for wt in THREADS {
+        let mut cfg_t = cfg;
+        cfg_t.walker_threads = wt;
+        let mut rng = StdRng::seed_from_u64(77);
+        let err = partition::run_parallel(&g, &FirstVacant, &cfg_t, &mut (), &mut rng).unwrap_err();
+        assert_eq!(serial_err, err, "walker_threads={wt}");
+        let mut s = serial_rng.clone();
+        for _ in 0..64 {
+            assert_eq!(s.next_u64(), rng.next_u64(), "walker_threads={wt}");
+        }
+    }
+}
+
+#[test]
+fn process_layer_routes_through_the_partitioned_engine() {
+    // the public run_parallel entry point: thread counts agree through the
+    // DispersionOutcome surface too (steps, settle vertices, trajectories)
+    use dispersion_core::process::parallel::run_parallel;
+    let g = torus2d(20);
+    let mut reference = None;
+    for wt in THREADS {
+        let cfg = ProcessConfig::simple().recording().with_walker_threads(wt);
+        let mut rng = StdRng::seed_from_u64(4242);
+        let o = run_parallel(&g, 0, &cfg, &mut rng).unwrap();
+        let key = (o.steps.clone(), o.settled_at.clone(), o.block.clone());
+        match &reference {
+            None => reference = Some(key),
+            Some(r) => assert_eq!(*r, key, "walker_threads={wt}"),
+        }
+    }
+}

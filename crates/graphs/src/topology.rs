@@ -343,6 +343,57 @@ impl Topology for Complete {
     }
 }
 
+/// In-byte select table: `SELECT_IN_BYTE[(rank << 8) | byte]` is the index
+/// of the `rank`-th (0-based, from the LSB) set bit of `byte`. Entries for
+/// out-of-range ranks hold 8 and are never hit by valid queries. Built at
+/// compile time (2 KiB).
+const SELECT_IN_BYTE: [u8; 2048] = {
+    let mut t = [8u8; 2048];
+    let mut byte = 0usize;
+    while byte < 256 {
+        let mut rank = 0usize;
+        let mut b = 0usize;
+        while b < 8 {
+            if byte >> b & 1 == 1 {
+                t[(rank << 8) | byte] = b as u8;
+                rank += 1;
+            }
+            b += 1;
+        }
+        byte += 1;
+    }
+    t
+};
+
+/// Index of the `rank`-th (0-based, from the LSB) set bit of `word`.
+///
+/// Broadword select (Vigna, "Broadword implementation of rank/select
+/// queries", WEA 2008): SWAR byte-wise popcounts, a multiply prefix sum to
+/// locate the byte, one table lookup inside it — no data-dependent
+/// branches, unlike a scan over the word's bits whose per-bit branch on a
+/// random vertex id mispredicts half the time.
+///
+/// Requires `rank < word.count_ones()`; garbage out otherwise.
+#[inline]
+fn select_in_word(word: u64, rank: u64) -> u32 {
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    const MSBS: u64 = 0x8080_8080_8080_8080;
+    debug_assert!(rank < u64::from(word.count_ones()));
+    // byte-wise popcounts
+    let mut s = word - ((word >> 1) & 0x5555_5555_5555_5555);
+    s = (s & 0x3333_3333_3333_3333) + ((s >> 2) & 0x3333_3333_3333_3333);
+    s = (s + (s >> 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    // inclusive prefix sums, one per byte lane
+    let byte_sums = s.wrapping_mul(ONES);
+    // lane j's MSB survives iff its prefix sum is ≤ rank; counting the
+    // survivors indexes the byte holding the target bit
+    let spread = rank.wrapping_mul(ONES);
+    let leq = ((spread | MSBS) - byte_sums) & MSBS;
+    let place = leq.count_ones() * 8;
+    let byte_rank = rank - ((byte_sums << 8) >> place & 0xff);
+    place + u32::from(SELECT_IN_BYTE[(byte_rank as usize) << 8 | (word >> place & 0xff) as usize])
+}
+
 /// Implicit Boolean hypercube `H_{2^k}`, matching
 /// `generators::hypercube(k)`.
 ///
@@ -387,30 +438,17 @@ impl Topology for Hypercube {
     #[inline]
     fn neighbour(&self, v: Vertex, i: usize) -> Vertex {
         debug_assert!(i < self.k);
-        let ones = v.count_ones() as usize;
-        if i < ones {
-            // (i+1)-th set bit from the top
-            let mut seen = 0usize;
-            for b in (0..self.k).rev() {
-                if v >> b & 1 == 1 {
-                    if seen == i {
-                        return v ^ (1 << b);
-                    }
-                    seen += 1;
-                }
-            }
-        } else {
-            let mut left = i - ones;
-            for b in 0..self.k {
-                if v >> b & 1 == 0 {
-                    if left == 0 {
-                        return v ^ (1 << b);
-                    }
-                    left -= 1;
-                }
-            }
-        }
-        unreachable!("neighbour index {i} out of range for hypercube vertex {v}")
+        // slot i < ones picks the (i+1)-th set bit from the top, the rest
+        // pick clear bits from the bottom — both are select queries counted
+        // from the LSB, answered branch-free (the old per-bit scan's
+        // branches on a random vertex id mispredict half the time and made
+        // the implicit backend ~2.5× slower than CSR at n = 1024)
+        let ones = i.wrapping_sub(v.count_ones() as usize);
+        let set = (ones as isize) < 0; // i < popcount(v)
+        let flip = (set as u64).wrapping_sub(1); // 0 picks set bits, !0 clear
+        let word = (u64::from(v) ^ flip) & ((1u64 << self.k) - 1);
+        let rank = if set { !ones } else { ones }; // bottom-up rank in `word`
+        v ^ (1 << select_in_word(word, rank as u64))
     }
 
     fn is_regular(&self) -> bool {
@@ -747,8 +785,32 @@ mod tests {
 
     #[test]
     fn hypercube_matches_generator() {
-        for k in 1usize..=6 {
+        // exhaustive slot-exact equality: every vertex × every neighbour
+        // slot of the branch-free select must reproduce the CSR row order
+        for k in 1usize..=10 {
             assert_matches_graph(&Hypercube::new(k), &hypercube(k));
+        }
+    }
+
+    #[test]
+    fn select_in_word_matches_naive_scan() {
+        // deterministic xorshift sweep over word shapes, plus the edge
+        // masks a hypercube vertex id can present
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let words = (0..500).map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        });
+        for word in words.chain([1u64, u64::MAX, 1 << 63, 0x8000_0001, (1 << 31) - 1]) {
+            let mut rank = 0;
+            for b in 0..64 {
+                if word >> b & 1 == 1 {
+                    assert_eq!(select_in_word(word, rank), b, "word {word:#x} rank {rank}");
+                    rank += 1;
+                }
+            }
         }
     }
 

@@ -260,7 +260,7 @@ impl Measure {
     /// # Panics
     ///
     /// Panics if `out.len()` differs from `stat_names().len()`.
-    pub fn run_trial<R: Rng + ?Sized>(
+    pub fn run_trial<R: rand::RewindableRng + ?Sized>(
         &self,
         cell: &ResolvedCell,
         cfg: &ProcessConfig,
@@ -272,7 +272,7 @@ impl Measure {
     }
 
     /// The generic trial body, monomorphised per backend.
-    fn run_on<T: Topology + ?Sized, R: Rng + ?Sized>(
+    fn run_on<T: Topology + Sync + ?Sized, R: rand::RewindableRng + ?Sized>(
         &self,
         g: &T,
         origin: Vertex,
