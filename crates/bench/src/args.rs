@@ -126,7 +126,8 @@ impl Options {
                 "--seed" => opts.seed = expect_num(&mut it, "--seed"),
                 "--threads" => opts.threads = expect_num(&mut it, "--threads"),
                 "--walker-threads" => {
-                    opts.walker_threads = expect_num::<usize, _>(&mut it, "--walker-threads").max(1)
+                    opts.walker_threads =
+                        expect_num::<usize, _>(&mut it, "--walker-threads").max(1);
                 }
                 "--sizes" => {
                     let v = it.next().unwrap_or_else(|| panic!("--sizes needs a value"));
@@ -274,7 +275,7 @@ mod tests {
     use super::*;
 
     fn parse(words: &[&str]) -> Options {
-        Options::parse(words.iter().map(|s| s.to_string()))
+        Options::parse(words.iter().map(std::string::ToString::to_string))
     }
 
     #[test]

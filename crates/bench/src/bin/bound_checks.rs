@@ -19,7 +19,7 @@ use dispersion_graphs::families::Family;
 use dispersion_graphs::traversal::is_tree;
 use dispersion_markov::transition::WalkKind;
 use dispersion_sim::experiment::{dispersion_samples, phase_time_samples, Process};
-use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::rng::{trial_seed, Xoshiro256pp};
 use dispersion_sim::table::{fmt_f, TextTable};
 
 fn main() {
@@ -52,7 +52,7 @@ fn main() {
     let cfg = ProcessConfig::simple();
     let lazy = ProcessConfig::lazy();
     for (k, family) in families.iter().enumerate() {
-        let mut grng = Xoshiro256pp::new(opts.seed ^ (k as u64) << 3);
+        let mut grng = Xoshiro256pp::new(trial_seed(opts.seed, k as u64));
         let inst = family.instance(n, &mut grng);
         let g = &inst.graph;
         let s0 = opts.seed + 31 * k as u64;
@@ -106,7 +106,7 @@ fn main() {
         "E[τ_seq,lazy]",
     ]);
     for (k, family) in families.iter().enumerate() {
-        let mut grng = Xoshiro256pp::new(opts.seed ^ (k as u64) << 5);
+        let mut grng = Xoshiro256pp::new(trial_seed(opts.seed, 0x100 + k as u64));
         let inst = family.instance(n, &mut grng);
         let g = &inst.graph;
         let s0 = opts.seed + 77 * k as u64;

@@ -15,7 +15,7 @@ use dispersion_core::process::ProcessConfig;
 use dispersion_graphs::families::Family;
 use dispersion_sim::dominance::{dominance_violation, ks_p_value};
 use dispersion_sim::experiment::{dispersion_samples, total_steps_samples, Process};
-use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::rng::{trial_seed, Xoshiro256pp};
 use dispersion_sim::table::{fmt_f, TextTable};
 
 fn main() {
@@ -43,7 +43,7 @@ fn main() {
         "KS p(total)",
     ]);
     for (k, family) in families.iter().enumerate() {
-        let mut grng = Xoshiro256pp::new(opts.seed ^ (k as u64) << 8);
+        let mut grng = Xoshiro256pp::new(trial_seed(opts.seed, k as u64));
         let inst = family.instance(n, &mut grng);
         let g = &inst.graph;
         let s0 = opts.seed + 100 * k as u64;
@@ -101,7 +101,7 @@ fn main() {
     println!("\n## Theorem 4.2: E[τ_par] ≤ O(log n · E[τ_seq]) — ratio vs log n");
     let mut t2 = TextTable::new(["family", "n", "par/seq", "ln n", "ratio/ln n"]);
     for (k, family) in families.iter().enumerate() {
-        let mut grng = Xoshiro256pp::new(opts.seed ^ (k as u64) << 9);
+        let mut grng = Xoshiro256pp::new(trial_seed(opts.seed, 0x100 + k as u64));
         let inst = family.instance(n, &mut grng);
         let s0 = opts.seed + 500 * (k as u64 + 1);
         let seq = dispersion_samples(
@@ -139,8 +139,8 @@ fn main() {
     let mut ok = 0usize;
     let reps = 50usize;
     for r in 0..reps {
-        let mut rng = Xoshiro256pp::new(opts.seed + 7000 + r as u64);
-        let mut grng = Xoshiro256pp::new(opts.seed + 9000 + r as u64);
+        let mut rng = Xoshiro256pp::new(trial_seed(opts.seed, 0x200 + r as u64));
+        let mut grng = Xoshiro256pp::new(trial_seed(opts.seed, 0x300 + r as u64));
         let family = families[r % families.len()];
         let inst = family.instance(64, &mut grng);
         let rec = ProcessConfig::simple().recording();

@@ -50,7 +50,7 @@ use dispersion_graphs::topology::Implicit;
 use dispersion_graphs::{Topology, Vertex};
 use dispersion_sim::experiment::Process;
 use dispersion_sim::parallel::par_trials;
-use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::rng::{trial_seed, Xoshiro256pp};
 use dispersion_sim::table::{fmt_rate, TextTable};
 
 fn default_families() -> Vec<Family> {
@@ -189,7 +189,7 @@ fn main() {
         // `--topology` restricts to one backend; implicit-only runs must
         // not build the CSR instance at all (that is their point)
         if opts.backend != Some(Backend::Implicit) {
-            let mut grng = Xoshiro256pp::new(opts.seed ^ ((fk as u64) << 7));
+            let mut grng = Xoshiro256pp::new(trial_seed(opts.seed, fk as u64));
             let inst = family.instance(n, &mut grng);
             bench_backend(
                 &inst.graph,
@@ -209,19 +209,19 @@ fn main() {
         let label = family.label();
         match family.implicit(n) {
             Some(Implicit::Path(p)) => {
-                bench_backend(&p, 0, label, "implicit", &schedules, &opts, fk, &mut t)
+                bench_backend(&p, 0, label, "implicit", &schedules, &opts, fk, &mut t);
             }
             Some(Implicit::Cycle(c)) => {
-                bench_backend(&c, 0, label, "implicit", &schedules, &opts, fk, &mut t)
+                bench_backend(&c, 0, label, "implicit", &schedules, &opts, fk, &mut t);
             }
             Some(Implicit::Torus2d(tz)) => {
-                bench_backend(&tz, 0, label, "implicit", &schedules, &opts, fk, &mut t)
+                bench_backend(&tz, 0, label, "implicit", &schedules, &opts, fk, &mut t);
             }
             Some(Implicit::Hypercube(h)) => {
-                bench_backend(&h, 0, label, "implicit", &schedules, &opts, fk, &mut t)
+                bench_backend(&h, 0, label, "implicit", &schedules, &opts, fk, &mut t);
             }
             Some(Implicit::Complete(kn)) => {
-                bench_backend(&kn, 0, label, "implicit", &schedules, &opts, fk, &mut t)
+                bench_backend(&kn, 0, label, "implicit", &schedules, &opts, fk, &mut t);
             }
             None => {}
         }

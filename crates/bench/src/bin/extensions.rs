@@ -32,7 +32,7 @@ use dispersion_markov::mixing::mixing_time;
 use dispersion_markov::transition::WalkKind;
 use dispersion_sim::experiment::{mean_phase_profile, phase_time_samples};
 use dispersion_sim::parallel::par_samples;
-use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::rng::{trial_seed, Xoshiro256pp};
 use dispersion_sim::stats::Summary;
 use dispersion_sim::table::{fmt_f, TextTable};
 
@@ -139,7 +139,7 @@ fn main() {
             let imp = family.implicit(n).expect("family has an implicit form");
             with_concrete!(imp, tp => k_sweep_rows(&tp, family.label(), 0, &opts, fk, &cfg, &mut t));
         } else {
-            let mut grng = Xoshiro256pp::new(opts.seed + fk as u64);
+            let mut grng = Xoshiro256pp::new(trial_seed(opts.seed, fk as u64));
             let inst = family.instance(n, &mut grng);
             k_sweep_rows(
                 &inst.graph,
@@ -171,7 +171,7 @@ fn main() {
             let imp = family.implicit(size).expect("family has an implicit form");
             with_concrete!(imp, tp => origins_row(&tp, family.label(), 0, &opts, fk, &cfg, &mut t2));
         } else {
-            let mut grng = Xoshiro256pp::new(opts.seed + 50 + fk as u64);
+            let mut grng = Xoshiro256pp::new(trial_seed(opts.seed, 0x100 + fk as u64));
             let inst = family.instance(size, &mut grng);
             origins_row(
                 &inst.graph,
@@ -208,7 +208,7 @@ fn main() {
             .implicit(n)
             .expect("hypercube is implicit");
         let tmix = if n <= TMIX_EXPLICIT_LIMIT {
-            let mut grng = Xoshiro256pp::new(opts.seed + 999);
+            let mut grng = Xoshiro256pp::new(trial_seed(opts.seed, 0x200));
             tmix_of(&Family::Hypercube.instance(n, &mut grng).graph)
         } else {
             f64::NAN
@@ -223,7 +223,7 @@ fn main() {
         ));
         (runs, tmix)
     } else {
-        let mut grng = Xoshiro256pp::new(opts.seed + 999);
+        let mut grng = Xoshiro256pp::new(trial_seed(opts.seed, 0x200));
         let inst = Family::Hypercube.instance(n, &mut grng);
         let runs = phase_time_samples(
             &inst.graph,

@@ -9,7 +9,7 @@ use dispersion_bench::Options;
 use dispersion_core::process::ProcessConfig;
 use dispersion_graphs::families::Family;
 use dispersion_sim::experiment::{estimate_dispersion, Process};
-use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::rng::{trial_seed, Xoshiro256pp};
 use dispersion_sim::table::{fmt_f, TextTable};
 
 fn main() {
@@ -21,7 +21,7 @@ fn main() {
     let mut t = TextTable::new(["family", "n", "seq lazy/simple", "par lazy/simple"]);
     for (fk, family) in families.iter().enumerate() {
         for (k, &n) in sizes.iter().enumerate() {
-            let mut grng = Xoshiro256pp::new(opts.seed ^ ((fk * 16 + k) as u64));
+            let mut grng = Xoshiro256pp::new(trial_seed(opts.seed, ((fk as u64) << 32) | k as u64));
             let inst = family.instance(n, &mut grng);
             let g = &inst.graph;
             let s0 = opts.seed + (fk * 1000 + k * 10) as u64;

@@ -117,7 +117,10 @@ fn main() {
 
     // same seeds → same trials: the HTTP stream must reproduce the
     // in-process records byte for byte, or the comparison is dishonest
-    let want: Vec<String> = records.iter().map(|r| r.to_json_line()).collect();
+    let want: Vec<String> = records
+        .iter()
+        .map(dispersion_sim::Record::to_json_line)
+        .collect();
     assert_eq!(
         streamed, want,
         "served records diverged from in-process run"

@@ -53,7 +53,11 @@ struct RowRef {
 
 fn main() {
     let opts = Options::from_env();
-    let which = opts.positional.first().map(|s| s.as_str()).unwrap_or("all");
+    let which = opts
+        .positional
+        .first()
+        .map(std::string::String::as_str)
+        .unwrap_or("all");
     let families: Vec<Family> = if which == "all" {
         Family::table1()
     } else {

@@ -27,7 +27,7 @@ use dispersion_markov::hitting::{hitting_times_to_set_with, max_hitting_time};
 use dispersion_markov::mixing::{mixing_time, mixing_time_bounds_with};
 use dispersion_markov::transition::WalkKind;
 use dispersion_markov::Solver;
-use dispersion_sim::rng::Xoshiro256pp;
+use dispersion_sim::rng::{trial_seed, Xoshiro256pp};
 use dispersion_sim::spec::{CellSpec, ExperimentSpec, FamilySpec, Measure};
 use dispersion_sim::table::{fmt_f, TextTable};
 
@@ -86,7 +86,7 @@ fn main() {
     ]);
 
     for (fi, family) in Family::table1().into_iter().enumerate() {
-        let mut grng = Xoshiro256pp::new(opts.seed);
+        let mut grng = Xoshiro256pp::new(trial_seed(opts.seed, fi as u64));
         let inst = family.instance(size, &mut grng);
         let g = &inst.graph;
         let n = g.n();

@@ -60,7 +60,7 @@ pub fn is_sequential_block(block: &Block) -> bool {
 /// of Parallel-IDLA (ties broken by smallest particle index).
 pub fn is_parallel_block(block: &Block) -> bool {
     let mut seen = vec![false; block.label_bound()];
-    let max_t = block.rows().iter().map(|r| r.len()).max().unwrap();
+    let max_t = block.rows().iter().map(std::vec::Vec::len).max().unwrap();
     for t in 0..max_t {
         for i in 0..block.n_rows() {
             if let Some(v) = block.get(i, t) {
@@ -91,7 +91,7 @@ pub fn sequential_order(block: &Block) -> Vec<(usize, usize)> {
 /// Cells of the block in parallel order `<_P`.
 pub fn parallel_order(block: &Block) -> Vec<(usize, usize)> {
     let mut cells = Vec::with_capacity(block.total_length() + block.n_rows());
-    let max_t = block.rows().iter().map(|r| r.len()).max().unwrap();
+    let max_t = block.rows().iter().map(std::vec::Vec::len).max().unwrap();
     for t in 0..max_t {
         for i in 0..block.n_rows() {
             if block.get(i, t).is_some() {

@@ -311,6 +311,8 @@ where
         // instantly (particle 0 claims the origin)
         let origin = match cfg.origins {
             Origins::Single(v) => v,
+            // LINT: engine-no-panic-ok — invariant: run() rejects
+            // RandomUniform with an eager schedule before this loop starts
             Origins::RandomUniform => unreachable!(),
         };
         for pid in 0..k {

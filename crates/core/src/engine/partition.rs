@@ -110,6 +110,9 @@ fn pack_out(pos: Vertex, candidate: bool) -> u64 {
 /// pre-filter. Workers never touch the RNG, the particle arrays, or the
 /// observers — those stay on the merge thread, which is what keeps the
 /// event stream serial-exact.
+// The channel endpoints are moved in on purpose: each worker owns its ends,
+// and dropping them at thread exit is what unblocks the merge thread.
+#[allow(clippy::needless_pass_by_value)]
 fn worker_loop<T: Topology + Sync + ?Sized>(
     g: &T,
     occ: &Occupancy,
@@ -164,6 +167,8 @@ where
             assert!((v as usize) < n, "origin {v} out of range");
             v
         }
+        // LINT: engine-no-panic-ok — invariant: config validation, fires
+        // before any particle moves; mirrors the serial engine's assert
         Origins::RandomUniform => panic!("random origins require a lazy-spawn schedule"),
     };
 
@@ -279,6 +284,8 @@ where
                     for (w, sender) in to_worker.iter().enumerate().take(used) {
                         let lo = w * chunk;
                         let hi = (lo + chunk).min(len);
+                        // LINT: engine-no-panic-ok — invariant: every buffer
+                        // is returned to the pool at the end of the round
                         let mut job = pool[w].take().expect("buffer in flight");
                         job.data.clear();
                         for &pid in &active[lo..hi] {
@@ -287,12 +294,17 @@ where
                             job.data.push(pack_in(u, choice));
                             cums.push(counter.draws);
                         }
+                        // LINT: engine-no-panic-ok — invariant: workers only
+                        // exit when the sender is dropped at scope end
                         sender.send(job).expect("walker thread exited early");
                     }
                     let drawn = counter.draws;
 
                     let mut ended = false;
                     for (w, receiver) in from_worker.iter().enumerate().take(used) {
+                        // LINT: engine-no-panic-ok — invariant: a worker
+                        // answers every job; if one panicked, the scope
+                        // re-raises that panic anyway
                         let mut job = receiver.recv().expect("walker thread panicked");
                         if !ended {
                             let lo = w * chunk;

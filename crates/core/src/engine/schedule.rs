@@ -467,6 +467,8 @@ impl Schedule for CtuClocks {
         loop {
             let (t, pid) = self
                 .pop()
+                // LINT: engine-no-panic-ok — invariant: every unsettled
+                // particle keeps exactly one pending clock ring in the heap
                 .expect("clock heap empty with unsettled particles");
             if view.settled[pid] {
                 // lazily prune a settled walker's pending ring

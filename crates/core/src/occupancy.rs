@@ -29,9 +29,12 @@ impl Clone for Occupancy {
             words: self
                 .words
                 .iter()
+                // ORDERING: Relaxed — clone runs while no other thread writes
+                // (callers clone between rounds); no cross-word ordering needed
                 .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
                 .collect(),
             n: self.n,
+            // ORDERING: Relaxed — same quiescent-clone argument as the words
             count: AtomicUsize::new(self.count.load(Ordering::Relaxed)),
         }
     }
@@ -57,6 +60,9 @@ impl Occupancy {
     pub fn is_occupied(&self, v: Vertex) -> bool {
         let v = v as usize;
         debug_assert!(v < self.n);
+        // ORDERING: Relaxed — occupancy is monotone (bits only turn on), so a
+        // stale read only under-reports; the settle-merge re-checks on the
+        // single writer thread before acting (module docs)
         self.words[v >> 6].load(Ordering::Relaxed) >> (v & 63) & 1 == 1
     }
 
@@ -80,17 +86,23 @@ impl Occupancy {
     pub fn settle_shared(&self, v: Vertex) {
         let vi = v as usize;
         debug_assert!(vi < self.n);
+        // ORDERING: Relaxed — single-writer monotone set; the RMW is atomic on
+        // its own word and readers tolerate staleness (see is_occupied)
         let prev = self.words[vi >> 6].fetch_or(1 << (vi & 63), Ordering::Relaxed);
         assert!(
             prev >> (vi & 63) & 1 == 0,
             "vertex {v} settled twice: scheduler bug"
         );
+        // ORDERING: Relaxed — count is a statistic, not a synchronisation
+        // point; only the writer thread's own reads need the exact value
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of occupied vertices.
     #[inline]
     pub fn settled_count(&self) -> usize {
+        // ORDERING: Relaxed — monotone counter; cross-thread readers may see a
+        // lagging value, which only delays (never falsifies) an is_full answer
         self.count.load(Ordering::Relaxed)
     }
 

@@ -114,16 +114,20 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
             let j = rng.random_range(0..=i);
             stubs.swap(i, j);
         }
-        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+        // Simplicity check via sort: normalised endpoint pairs, sorted, then
+        // scanned for adjacent duplicates. Deterministic memory layout and no
+        // hash state, and the O(m log m) sort is noise next to the shuffle.
+        let mut keys: Vec<(Vertex, Vertex)> = Vec::with_capacity(n * d / 2);
         for c in stubs.chunks_exact(2) {
             let (u, v) = (c[0], c[1]);
             if u == v {
                 continue 'attempt; // self-loop
             }
-            let key = if u < v { (u, v) } else { (v, u) };
-            if !seen.insert(key) {
-                continue 'attempt; // multi-edge
-            }
+            keys.push(if u < v { (u, v) } else { (v, u) });
+        }
+        keys.sort_unstable();
+        if keys.windows(2).any(|w| w[0] == w[1]) {
+            continue 'attempt; // multi-edge
         }
         let mut b = GraphBuilder::with_capacity(n, n * d / 2);
         for c in stubs.chunks_exact(2) {

@@ -24,7 +24,6 @@ pub type Vertex = u32;
 /// * For every undirected edge `{u, v}` with `u != v`, `v` appears in `u`'s
 ///   slice and `u` in `v`'s slice exactly once per parallel edge.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     pub(crate) offsets: Vec<u32>,
     pub(crate) neighbours: Vec<Vertex>,

@@ -1,0 +1,244 @@
+//! Allow-annotations: the visible escape hatch.
+//!
+//! A justified exception to a rule is written in the source as
+//!
+//! ```text
+//! // LINT: <rule>-ok — <reason>
+//! ```
+//!
+//! trailing the offending line, or standing alone on the line(s) directly
+//! above it — each annotation covers exactly one line, so stacked
+//! annotations never shadow each other. The reason is mandatory — an
+//! annotation is a reviewed claim ("membership-only", "invariant: heap
+//! non-empty while unsettled > 0"), not a mute button — and a malformed or
+//! unknown-rule annotation is itself a finding (`bad-annotation`), so
+//! typos cannot silently disable a rule.
+
+use crate::lexer::Comment;
+
+/// One parsed `LINT:` allow-annotation.
+#[derive(Clone, Debug)]
+pub struct Annotation {
+    /// The rule id being allowed (`no-hash-iter`, ...).
+    pub rule: String,
+    /// The justification text after the dash.
+    pub reason: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (wrapped justifications span several).
+    pub end_line: u32,
+    /// The single line this annotation suppresses: its own line for a
+    /// trailing comment, the line below the comment block otherwise.
+    pub target_line: u32,
+    /// Parse problem, if any (missing `-ok`, empty reason...). Kept on the
+    /// annotation so the engine can report it with a location.
+    pub malformed: Option<String>,
+}
+
+impl Annotation {
+    /// Whether this annotation suppresses rule `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.malformed.is_none() && self.rule == rule && self.target_line == line
+    }
+}
+
+/// Extracts annotations from a file's comments. `path` is only used in
+/// malformed-annotation messages.
+///
+/// Only plain `//` comments whose text *starts* with `LINT:` count: the
+/// lexer keeps the third slash of a `///` (and the `!` of a `//!`) as the
+/// first text character, so documentation that merely *describes* the
+/// annotation syntax can never act as one.
+///
+/// A long justification may wrap onto further plain `//` lines directly
+/// below the `LINT:` line; the annotation then suppresses the line after
+/// the contiguous comment block.
+///
+/// `code_lines` is the sorted list of lines carrying at least one token —
+/// it decides whether an annotation trails code (covers its own line) or
+/// stands alone (covers the line below the block).
+pub fn parse(_path: &str, comments: &[Comment], code_lines: &[u32]) -> Vec<Annotation> {
+    let mut out = Vec::new();
+    for (i, c) in comments.iter().enumerate() {
+        let trimmed = c.text.trim_start();
+        let Some(body) = trimmed.strip_prefix("LINT:") else {
+            continue;
+        };
+        let mut ann = parse_one(body.trim(), c);
+        if code_lines.binary_search(&ann.line).is_ok() {
+            // trailing comment: the violation is on this very line
+            ann.target_line = ann.line;
+        } else {
+            // standalone block: absorb contiguous plain-comment
+            // continuation lines, then point at the line below
+            for next in &comments[i + 1..] {
+                let t = next.text.trim_start();
+                if next.line != ann.end_line + 1
+                    || t.starts_with("LINT:")
+                    || next.text.starts_with('/')
+                    || next.text.starts_with('!')
+                    || code_lines.binary_search(&next.line).is_ok()
+                {
+                    break;
+                }
+                ann.end_line = next.end_line;
+            }
+            ann.target_line = ann.end_line + 1;
+        }
+        out.push(ann);
+    }
+    out
+}
+
+fn parse_one(body: &str, c: &Comment) -> Annotation {
+    let mut ann = Annotation {
+        rule: String::new(),
+        reason: String::new(),
+        line: c.line,
+        end_line: c.end_line,
+        target_line: c.end_line + 1,
+        malformed: None,
+    };
+    // rule id: leading run of [a-z0-9-]
+    let id_end = body
+        .find(|ch: char| !(ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '-'))
+        .unwrap_or(body.len());
+    let id = &body[..id_end];
+    let Some(rule) = id.strip_suffix("-ok") else {
+        ann.malformed = Some(format!(
+            "annotation `LINT: {body}` is not of the form `LINT: <rule>-ok — <reason>`"
+        ));
+        return ann;
+    };
+    ann.rule = rule.to_string();
+    // reason: everything after the separator dash
+    let rest = body[id_end..].trim_start();
+    let reason = rest
+        .strip_prefix('—')
+        .or_else(|| rest.strip_prefix('-'))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        ann.malformed = Some(format!(
+            "annotation `LINT: {id}` has no justification — write `LINT: {id} — <reason>`"
+        ));
+        return ann;
+    }
+    ann.reason = reason.to_string();
+    ann
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str) -> Comment {
+        Comment {
+            text: text.to_string(),
+            line: 10,
+            end_line: 10,
+        }
+    }
+
+    #[test]
+    fn standalone_covers_only_the_next_line() {
+        let anns = parse(
+            "f.rs",
+            &[comment(" LINT: no-hash-iter-ok — membership-only dedup")],
+            &[11],
+        );
+        assert_eq!(anns.len(), 1);
+        assert!(anns[0].malformed.is_none());
+        assert_eq!(anns[0].rule, "no-hash-iter");
+        assert_eq!(anns[0].reason, "membership-only dedup");
+        assert!(!anns[0].covers("no-hash-iter", 10));
+        assert!(anns[0].covers("no-hash-iter", 11));
+        assert!(!anns[0].covers("no-hash-iter", 12));
+        assert!(!anns[0].covers("rng-discipline", 11));
+    }
+
+    #[test]
+    fn trailing_covers_only_its_own_line() {
+        let anns = parse(
+            "f.rs",
+            &[comment(" LINT: float-reduction-ok — fixed slice order")],
+            &[10, 11],
+        );
+        assert!(anns[0].covers("float-reduction", 10));
+        assert!(!anns[0].covers("float-reduction", 11));
+    }
+
+    #[test]
+    fn ascii_dash_accepted() {
+        let anns = parse(
+            "f.rs",
+            &[comment(" LINT: engine-no-panic-ok - invariant: x > 0")],
+            &[],
+        );
+        assert!(anns[0].malformed.is_none());
+        assert_eq!(anns[0].reason, "invariant: x > 0");
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let anns = parse("f.rs", &[comment(" LINT: no-hash-iter-ok")], &[]);
+        assert!(anns[0].malformed.is_some());
+        assert!(!anns[0].covers("no-hash-iter", 10));
+        assert!(!anns[0].covers("no-hash-iter", 11));
+    }
+
+    #[test]
+    fn missing_ok_suffix_is_malformed() {
+        let anns = parse("f.rs", &[comment(" LINT: no-hash-iter — but why")], &[]);
+        assert!(anns[0].malformed.is_some());
+    }
+
+    #[test]
+    fn wrapped_reason_extends_coverage() {
+        let c1 = Comment {
+            text: " LINT: engine-no-panic-ok — invariant: every".into(),
+            line: 10,
+            end_line: 10,
+        };
+        let c2 = Comment {
+            text: " unsettled particle keeps a clock in the heap".into(),
+            line: 11,
+            end_line: 11,
+        };
+        let anns = parse("f.rs", &[c1, c2], &[12]);
+        assert_eq!(anns.len(), 1);
+        assert!(!anns[0].covers("engine-no-panic", 11));
+        assert!(anns[0].covers("engine-no-panic", 12));
+        assert!(!anns[0].covers("engine-no-panic", 13));
+    }
+
+    #[test]
+    fn continuation_stops_at_gap_and_doc_comments() {
+        let c1 = Comment {
+            text: " LINT: no-hash-iter-ok — membership only".into(),
+            line: 10,
+            end_line: 10,
+        };
+        // a doc comment directly below is a new item's docs, not a
+        // continuation of the justification
+        let c2 = Comment {
+            text: "/ docs for the next item".into(),
+            line: 11,
+            end_line: 11,
+        };
+        let anns = parse("f.rs", &[c1, c2], &[12]);
+        assert_eq!(anns[0].end_line, 10);
+        assert!(anns[0].covers("no-hash-iter", 11));
+        assert!(!anns[0].covers("no-hash-iter", 12));
+    }
+
+    #[test]
+    fn unrelated_comments_ignored() {
+        let anns = parse(
+            "f.rs",
+            &[comment(" just a note about linting in general")],
+            &[],
+        );
+        assert!(anns.is_empty());
+    }
+}

@@ -1,0 +1,433 @@
+//! A hand-rolled, comment- and string-aware Rust lexer.
+//!
+//! The rules in this crate reason about *code* tokens: identifier and
+//! punctuation sequences with their line numbers. A naive substring scan
+//! would fire on `HashMap` inside a doc comment or a string literal, so the
+//! lexer classifies every byte of the source into exactly one of: code
+//! token, literal, comment, whitespace. Comments are kept (with their text
+//! and line span) because the allow-annotation and `ORDERING:` machinery
+//! reads them; literal *contents* are discarded on purpose — nothing a rule
+//! checks should ever depend on what a string says.
+//!
+//! This is a lexer, not a parser: it does not build an AST and it does not
+//! resolve types. Every rule is therefore a token-pattern judgement, and
+//! the rule docs in `rules/` state the approximation each one makes.
+
+/// One lexed code token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`HashMap`, `fn`, `unwrap`, ...).
+    Ident(String),
+    /// Single punctuation byte (`:`, `(`, `!`, ...). Multi-byte operators
+    /// arrive as consecutive puncts; rules match them positionally.
+    Punct(u8),
+    /// Any literal: string, raw string, byte string, char, or number. The
+    /// payload is the literal's first byte class, enough to tell numbers
+    /// (`b'0'..=b'9'`) from textual literals (`b'"'` / `b'\''`).
+    Lit(u8),
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment with its text (delimiters stripped) and line span.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub text: String,
+    /// 1-indexed first line of the comment.
+    pub line: u32,
+    /// 1-indexed last line of the comment (== `line` for `//` comments).
+    pub end_line: u32,
+}
+
+/// Lexer output: the code-token stream and the comment list, both in
+/// source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Spanned>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into code tokens and comments.
+///
+/// Handles line comments, nested block comments, string/char/byte/raw
+/// literals (including `r#"..."#` with any `#` count and the raw-identifier
+/// prefix `r#ident`), lifetimes vs. char literals, and numeric literals.
+/// Unterminated constructs are closed at end of input rather than panicking:
+/// a lexer that dies on a torn file would take the whole contract checker
+/// down with it.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while !c.eof() {
+        let b = c.peek(0);
+        // whitespace
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+        // line comment (//, ///, //!)
+        if b == b'/' && c.peek(1) == b'/' {
+            let line = c.line;
+            c.bump();
+            c.bump();
+            let start = c.pos;
+            while !c.eof() && c.peek(0) != b'\n' {
+                c.bump();
+            }
+            out.comments.push(Comment {
+                text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                line,
+                end_line: line,
+            });
+            continue;
+        }
+        // block comment, nested
+        if b == b'/' && c.peek(1) == b'*' {
+            let line = c.line;
+            c.bump();
+            c.bump();
+            let start = c.pos;
+            let mut depth = 1usize;
+            let mut end = c.pos;
+            while !c.eof() && depth > 0 {
+                if c.peek(0) == b'/' && c.peek(1) == b'*' {
+                    depth += 1;
+                    c.bump();
+                    c.bump();
+                } else if c.peek(0) == b'*' && c.peek(1) == b'/' {
+                    depth -= 1;
+                    end = c.pos;
+                    c.bump();
+                    c.bump();
+                } else {
+                    c.bump();
+                }
+            }
+            if depth > 0 {
+                end = c.pos; // unterminated: comment runs to EOF
+            }
+            out.comments.push(Comment {
+                text: String::from_utf8_lossy(&c.src[start..end]).into_owned(),
+                line,
+                end_line: c.line,
+            });
+            continue;
+        }
+        // identifier, keyword, or a literal prefix (r"", b"", br#""#, c"")
+        if is_ident_start(b) {
+            let line = c.line;
+            let start = c.pos;
+            while !c.eof() && is_ident_continue(c.peek(0)) {
+                c.bump();
+            }
+            let ident = &src[start..c.pos];
+            // raw identifier r#name: the `#` glues to a following ident
+            if ident == "r" && c.peek(0) == b'#' && is_ident_start(c.peek(1)) {
+                c.bump(); // '#'
+                let rs = c.pos;
+                while !c.eof() && is_ident_continue(c.peek(0)) {
+                    c.bump();
+                }
+                out.tokens.push(Spanned {
+                    tok: Tok::Ident(src[rs..c.pos].to_string()),
+                    line,
+                });
+                continue;
+            }
+            // literal prefixes directly followed by a quote or #"
+            let prefix = matches!(ident, "r" | "b" | "br" | "c" | "cr" | "rb");
+            if prefix && (c.peek(0) == b'"' || c.peek(0) == b'#' || c.peek(0) == b'\'') {
+                if c.peek(0) == b'\'' {
+                    // b'x' byte literal
+                    lex_char(&mut c);
+                    out.tokens.push(Spanned {
+                        tok: Tok::Lit(b'\''),
+                        line,
+                    });
+                } else if ident.contains('r') {
+                    lex_raw_string(&mut c);
+                    out.tokens.push(Spanned {
+                        tok: Tok::Lit(b'"'),
+                        line,
+                    });
+                } else {
+                    c.bump(); // opening quote
+                    lex_string_body(&mut c);
+                    out.tokens.push(Spanned {
+                        tok: Tok::Lit(b'"'),
+                        line,
+                    });
+                }
+                continue;
+            }
+            out.tokens.push(Spanned {
+                tok: Tok::Ident(ident.to_string()),
+                line,
+            });
+            continue;
+        }
+        // string literal
+        if b == b'"' {
+            let line = c.line;
+            c.bump();
+            lex_string_body(&mut c);
+            out.tokens.push(Spanned {
+                tok: Tok::Lit(b'"'),
+                line,
+            });
+            continue;
+        }
+        // char literal vs lifetime
+        if b == b'\'' {
+            let line = c.line;
+            // lifetime: 'ident not closed by '
+            if is_ident_start(c.peek(1)) {
+                // scan the ident after the quote
+                let mut k = 2;
+                while is_ident_continue(c.peek(k)) {
+                    k += 1;
+                }
+                if c.peek(k) != b'\'' {
+                    // lifetime — consume quote+ident, emit nothing (rules
+                    // never match on lifetimes)
+                    for _ in 0..k {
+                        c.bump();
+                    }
+                    continue;
+                }
+            }
+            lex_char(&mut c);
+            out.tokens.push(Spanned {
+                tok: Tok::Lit(b'\''),
+                line,
+            });
+            continue;
+        }
+        // number literal: digits, `_`, alphanumerics (hex/suffixes), one
+        // fractional `.` when followed by a digit (so `0..n` stays a range)
+        if b.is_ascii_digit() {
+            let line = c.line;
+            c.bump();
+            loop {
+                let p = c.peek(0);
+                if is_ident_continue(p) || (p == b'.' && c.peek(1).is_ascii_digit()) {
+                    c.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Spanned {
+                tok: Tok::Lit(b'0'),
+                line,
+            });
+            continue;
+        }
+        // single punctuation byte
+        let line = c.line;
+        c.bump();
+        out.tokens.push(Spanned {
+            tok: Tok::Punct(b),
+            line,
+        });
+    }
+    out
+}
+
+/// Consumes a string body after the opening `"`, honouring `\` escapes.
+fn lex_string_body(c: &mut Cursor<'_>) {
+    while !c.eof() {
+        match c.bump() {
+            b'\\' if !c.eof() => {
+                c.bump();
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string starting at `#`* `"`, matching the `#` count.
+fn lex_raw_string(c: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while c.peek(0) == b'#' {
+        hashes += 1;
+        c.bump();
+    }
+    if c.peek(0) != b'"' {
+        return; // not actually a raw string; bail quietly
+    }
+    c.bump();
+    while !c.eof() {
+        if c.bump() == b'"' {
+            let mut k = 0;
+            while k < hashes && c.peek(0) == b'#' {
+                c.bump();
+                k += 1;
+            }
+            if k == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// Consumes a char/byte literal starting at the opening `'`.
+fn lex_char(c: &mut Cursor<'_>) {
+    c.bump(); // opening '
+    while !c.eof() {
+        match c.bump() {
+            b'\\' if !c.eof() => {
+                c.bump();
+            }
+            b'\'' => return,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.tokens
+            .iter()
+            .filter_map(|s| match &s.tok {
+                Tok::Ident(i) => Some(i.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let l = lex("// HashMap in a comment\nlet x = 1; /* HashSet */");
+        assert_eq!(idents(&l), vec!["let", "x"]);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("HashMap"));
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let l = lex(r#"let s = "Ordering::Relaxed \" still a string"; s.len()"#);
+        assert_eq!(idents(&l), vec!["let", "s", "s", "len"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r###"let s = r#"quote " inside"#; done()"###);
+        assert_eq!(idents(&l), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(idents(&l), vec!["fn", "f"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(idents(&l).contains(&"str"));
+        // 'x' is a char literal, 'a is not
+        let lits = l
+            .tokens
+            .iter()
+            .filter(|s| matches!(s.tok, Tok::Lit(b'\'')))
+            .count();
+        assert_eq!(lits, 1);
+    }
+
+    #[test]
+    fn char_escapes() {
+        let l = lex(r"let c = '\''; let d = '\u{1F600}'; end()");
+        assert_eq!(idents(&l), vec!["let", "c", "let", "d", "end"]);
+    }
+
+    #[test]
+    fn line_numbers_advance_in_block_comments() {
+        let l = lex("/* a\nb\nc */\nfn f() {}");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].end_line, 3);
+        assert_eq!(l.tokens[0].line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..10 { x += 1.5; }");
+        let puncts: Vec<u8> = l
+            .tokens
+            .iter()
+            .filter_map(|s| match s.tok {
+                Tok::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        // the two dots of the range survive as puncts
+        assert_eq!(puncts.iter().filter(|&&p| p == b'.').count(), 2);
+    }
+
+    #[test]
+    fn byte_and_raw_prefixes() {
+        let l = lex(r##"let a = b"bytes"; let b2 = br#"raw"#; let c = b'x'; f()"##);
+        assert_eq!(idents(&l), vec!["let", "a", "let", "b2", "let", "c", "f"]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let l = lex("let r#fn = 1; g()");
+        assert_eq!(idents(&l), vec!["let", "fn", "g"]);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let l = lex("let s = \"unterminated");
+        assert_eq!(idents(&l), vec!["let", "s"]);
+    }
+}

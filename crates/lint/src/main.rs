@@ -1,0 +1,116 @@
+//! CLI for the determinism & concurrency contract checker.
+//!
+//! ```text
+//! dispersion-lint [--root PATH] [--rules id,id,...] [--list-rules]
+//! ```
+//!
+//! Prints one `path:line: [rule] message` diagnostic per finding and exits
+//! nonzero if anything fired — wire it straight into CI. With no `--root`
+//! it lints the enclosing workspace (found by walking up from the current
+//! directory).
+
+#![forbid(unsafe_code)]
+
+use dispersion_lint::{engine, find_workspace_root, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: Option<PathBuf>,
+    rules: Option<Vec<String>>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        rules: None,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root needs a path")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--rules" => {
+                let v = args.next().ok_or("--rules needs a comma-separated list")?;
+                opts.rules = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--list-rules" => opts.list = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: dispersion-lint [--root PATH] [--rules id,id,...] [--list-rules]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list {
+        for rule in rules::all() {
+            println!("{:<22} {}", rule.id(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(filter) = &opts.rules {
+        for id in filter {
+            if !rules::known_rule(id) {
+                eprintln!("unknown rule `{id}` — see --list-rules");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = opts.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    });
+    let Some(root) = root else {
+        eprintln!("could not locate a workspace root (no Cargo.toml with [workspace]); use --root");
+        return ExitCode::from(2);
+    };
+
+    let findings = match engine::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dispersion-lint: io error under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings: Vec<_> = findings
+        .into_iter()
+        .filter(|f| {
+            opts.rules
+                .as_ref()
+                .map(|ids| ids.iter().any(|id| id == f.rule))
+                .unwrap_or(true)
+        })
+        .collect();
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("dispersion-lint: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("dispersion-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/notes.rs
+// Negative control: three broken escape hatches — a reasonless
+// annotation, an unknown rule, and an annotation that suppresses nothing.
+
+// LINT: no-hash-iter-ok
+pub fn a() {}
+
+// LINT: no-such-rule-ok — confident typo
+pub fn b() {}
+
+// LINT: no-wallclock-ok — nothing below uses a clock
+pub fn c() {}

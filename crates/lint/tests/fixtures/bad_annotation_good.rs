@@ -1,0 +1,8 @@
+//@ path: crates/core/src/notes.rs
+// Clean: one well-formed annotation actually covering a violation.
+
+pub fn has_duplicates(xs: &[u64]) -> bool {
+    // LINT: no-hash-iter-ok — membership-only: inserted into, never iterated
+    let mut seen = std::collections::HashSet::new();
+    xs.iter().any(|x| !seen.insert(*x))
+}

@@ -1,0 +1,8 @@
+//@ path: crates/sim/src/aggregate2.rs
+// Negative control: a raw f64 sum on the sim layer, bypassing
+// stats::Online.
+
+pub fn mean(samples: &[f64]) -> f64 {
+    let total: f64 = samples.iter().sum();
+    total / samples.len() as f64
+}

@@ -1,0 +1,18 @@
+//@ path: crates/sim/src/aggregate2.rs
+// Clean: reductions fold through the Online accumulator, or carry an
+// annotation naming the fixed evaluation order.
+
+use crate::stats::Online;
+
+pub fn mean(samples: &[f64]) -> f64 {
+    let mut acc = Online::new();
+    for &s in samples {
+        acc.push(s);
+    }
+    acc.mean()
+}
+
+pub fn dot(xs: &[f64], ys: &[f64]) -> f64 {
+    let s: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum(); // LINT: float-reduction-ok — fixed-order analytic reduction in slice order
+    s
+}

@@ -1,0 +1,6 @@
+//@ path: crates/demo/src/lib.rs
+// Negative control: a crate root without the forbid(unsafe_code) gate.
+
+pub fn identity(x: u64) -> u64 {
+    x
+}

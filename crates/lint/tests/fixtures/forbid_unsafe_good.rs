@@ -1,0 +1,8 @@
+//@ path: crates/demo/src/lib.rs
+// Clean: the crate root keeps the workspace-wide unsafe gate.
+
+#![forbid(unsafe_code)]
+
+pub fn identity(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/frontier.rs
+// Negative control: HashMap in non-test code of a deterministic crate.
+
+use std::collections::HashMap;
+
+pub fn degree_histogram(degrees: &[usize]) -> HashMap<usize, usize> {
+    let mut h = HashMap::new();
+    for &d in degrees {
+        *h.entry(d).or_insert(0) += 1;
+    }
+    h
+}

@@ -1,0 +1,30 @@
+//@ path: crates/core/src/frontier.rs
+// Clean: ordered containers in library code, hash containers confined to
+// an annotated membership-only use and to test code.
+
+use std::collections::BTreeMap;
+
+pub fn degree_histogram(degrees: &[usize]) -> BTreeMap<usize, usize> {
+    let mut h = BTreeMap::new();
+    for &d in degrees {
+        *h.entry(d).or_insert(0) += 1;
+    }
+    h
+}
+
+pub fn has_duplicates(xs: &[u64]) -> bool {
+    // LINT: no-hash-iter-ok — membership-only: inserted into, never iterated
+    let mut seen = std::collections::HashSet::new();
+    xs.iter().any(|x| !seen.insert(*x))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_fine_in_tests() {
+        let s: HashSet<u32> = [1, 2, 3].into_iter().collect();
+        assert_eq!(s.len(), 3);
+    }
+}

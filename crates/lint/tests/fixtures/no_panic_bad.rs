@@ -1,0 +1,6 @@
+//@ path: crates/core/src/engine/merge2.rs
+// Negative control: a bare unwrap in an engine hot path.
+
+pub fn first_active(active: &[usize]) -> usize {
+    *active.first().unwrap()
+}

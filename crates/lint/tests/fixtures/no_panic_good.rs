@@ -1,0 +1,23 @@
+//@ path: crates/core/src/engine/merge2.rs
+// Clean: fallible paths return errors; the one expect carries its
+// invariant; test code panics freely.
+
+pub fn first_active(active: &[usize]) -> Option<usize> {
+    active.first().copied()
+}
+
+pub fn checked(active: &[usize]) -> usize {
+    // LINT: engine-no-panic-ok — invariant: callers pass the round's active
+    // list, which is non-empty while any particle is unsettled
+    *active.first().expect("active list empty mid-round")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_fine_in_tests() {
+        assert_eq!(first_active(&[3]).unwrap(), 3);
+    }
+}

@@ -1,0 +1,8 @@
+//@ path: crates/core/src/counter.rs
+// Negative control: a memory ordering chosen without a written argument.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,13 @@
+//@ path: crates/core/src/counter.rs
+// Clean: every ordering carries an adjacent justification comment.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    // ORDERING: Relaxed — monotone statistics counter, readers tolerate lag
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read(c: &AtomicUsize) -> usize {
+    c.load(Ordering::Acquire) // ORDERING: Acquire — pairs with publish Release
+}

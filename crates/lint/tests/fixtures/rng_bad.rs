@@ -1,0 +1,10 @@
+//@ path: crates/sim/src/sweep.rs
+// Negative control: an RNG stream id invented with ad-hoc seed arithmetic
+// outside sim::rng — exactly the collision-prone pattern the rule bans.
+
+use crate::rng::Xoshiro256pp;
+
+pub fn sample(seed: u64, k: usize) -> u64 {
+    let mut rng = Xoshiro256pp::new(seed ^ (k as u64) << 3);
+    rng.next_u64()
+}

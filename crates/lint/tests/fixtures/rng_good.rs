@@ -1,0 +1,16 @@
+//@ path: crates/sim/src/sweep.rs
+// Clean: streams derived through trial_seed, plus one annotated
+// spec-pinned stream.
+
+use crate::rng::{trial_seed, Xoshiro256pp};
+
+pub fn sample(seed: u64, k: usize) -> u64 {
+    let mut rng = Xoshiro256pp::new(trial_seed(seed, k as u64));
+    rng.next_u64()
+}
+
+pub fn pinned(graph_seed: u64) -> u64 {
+    // LINT: rng-discipline-ok — graph_seed is the spec-pinned stream id
+    let mut rng = Xoshiro256pp::new(graph_seed);
+    rng.next_u64()
+}

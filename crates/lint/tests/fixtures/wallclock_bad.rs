@@ -1,0 +1,11 @@
+//@ path: crates/sim/src/runner2.rs
+// Negative control: wall-clock time on a measurement path of a clock-free
+// crate.
+
+use std::time::Instant;
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}

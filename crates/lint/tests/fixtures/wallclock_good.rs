@@ -1,0 +1,17 @@
+//@ path: crates/serve/src/uptime.rs
+// Clean: wall-clock use is fine outside the clock-free crates — serve
+// reports uptime, bench times throughput.
+
+use std::time::Instant;
+
+pub struct Uptime(Instant);
+
+impl Uptime {
+    pub fn start() -> Self {
+        Uptime(Instant::now())
+    }
+
+    pub fn seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}

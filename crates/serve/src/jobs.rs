@@ -193,6 +193,8 @@ impl Sink for WorkerSink {
             steps,
         } = event
         {
+            // ORDERING: Relaxed — progress gauge only; /status readers
+            // tolerate lag, and cell completion is published under the lock
             self.live[*cell].fetch_add(*trials, Ordering::Relaxed);
             Metrics::bump(&self.metrics.trials_total, *trials);
             Metrics::bump(&self.metrics.steps_total, *steps);
@@ -349,6 +351,8 @@ impl JobStore {
             let (state, trials, error) = match cell {
                 Cell::Pending if job.cancelled => ("cancelled", 0, None),
                 Cell::Pending => ("queued", 0, None),
+                // ORDERING: Relaxed — display gauge; a stale trial count in
+                // a status snapshot is fine
                 Cell::Running => ("running", job.live_trials[i].load(Ordering::Relaxed), None),
                 Cell::Done { record, .. } => (
                     if record.error.is_some() {
@@ -463,6 +467,8 @@ impl JobStore {
                 }
             }
         }
+        // ORDERING: Relaxed — final gauge sync; the authoritative record is
+        // the Cell::Done written under this same store lock
         job.live_trials[claim.cell].store(record.trials, Ordering::Relaxed);
         job.cells[claim.cell] = Cell::Done { record, durable };
         Metrics::bump(&self.metrics.cells_completed, 1);
@@ -539,6 +545,8 @@ fn load_job(dir: &Path, id: u64, metrics: &Metrics) -> Result<Job, String> {
                 && job.spec.cell_key(cell) == r.key
                 && !matches!(job.cells[cell], Cell::Done { .. })
             {
+                // ORDERING: Relaxed — resume-time gauge backfill under the
+                // store lock, before any worker threads exist
                 job.live_trials[cell].store(r.trials, Ordering::Relaxed);
                 job.cells[cell] = Cell::Done {
                     record: r,

@@ -39,7 +39,7 @@ fn main() {
             "--data-dir" => cfg.data_dir = Some(value("--data-dir").into()),
             "--workers" => cfg.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--max-jobs" => {
-                cfg.max_live_jobs = value("--max-jobs").parse().unwrap_or_else(|_| usage())
+                cfg.max_live_jobs = value("--max-jobs").parse().unwrap_or_else(|_| usage());
             }
             "--help" | "-h" => usage(),
             other => {

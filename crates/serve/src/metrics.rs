@@ -58,6 +58,8 @@ impl Metrics {
 
     /// Convenience `fetch_add` with relaxed ordering.
     pub fn bump(counter: &AtomicU64, by: u64) {
+        // ORDERING: Relaxed — independent monotone counters; scrapes need no
+        // cross-counter consistency, only eventual totals
         counter.fetch_add(by, Ordering::Relaxed);
     }
 
@@ -69,6 +71,8 @@ impl Metrics {
     /// Renders the text exposition. `live_jobs` / `open_cells` are gauges
     /// owned by the job store, passed in at scrape time.
     pub fn render(&self, live_jobs: u64, open_cells: u64) -> String {
+        // ORDERING: Relaxed — scrape snapshot; counters are independent and
+        // a reader never acts on their relative order
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let uptime = self.uptime().max(1e-9);
         let trials = get(&self.trials_total);

@@ -85,6 +85,8 @@ impl Server {
     /// current cell, streams end. Blocks until the accept thread and
     /// workers join.
     pub fn stop(mut self) {
+        // ORDERING: SeqCst — shutdown is once-per-process and cold; buying
+        // the strongest ordering costs nothing and reads unambiguously
         self.stop.store(true, Ordering::SeqCst);
         self.jobs.stop();
         // unblock the accept loop with a throwaway connection
@@ -98,8 +100,12 @@ impl Server {
     }
 }
 
+// The accept thread owns the listener and its Arc handles outright; the
+// socket must die with the thread so the port frees on stop().
+#[allow(clippy::needless_pass_by_value)]
 fn accept_loop(listener: TcpListener, jobs: Arc<JobStore>, stop: Arc<AtomicBool>) {
     for conn in listener.incoming() {
+        // ORDERING: SeqCst — pairs with the store in stop(); see there
         if stop.load(Ordering::SeqCst) {
             return;
         }

@@ -56,7 +56,7 @@ fn reference_lines(spec: &ExperimentSpec) -> Vec<String> {
     Runner::new(1)
         .run(spec, &[], &mut MemorySink::default())
         .iter()
-        .map(|r| r.to_json_line())
+        .map(dispersion_sim::Record::to_json_line)
         .collect()
 }
 

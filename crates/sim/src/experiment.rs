@@ -340,6 +340,8 @@ pub fn mean_phase_profile(samples: &[Vec<u64>]) -> Vec<f64> {
     }
     let jmax = samples[0].len();
     (0..jmax)
+        // LINT: float-reduction-ok — column mean in sample-slot order, which
+        // the deterministic merge already fixed
         .map(|j| samples.iter().map(|s| s[j] as f64).sum::<f64>() / samples.len() as f64)
         .collect()
 }

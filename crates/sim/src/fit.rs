@@ -31,22 +31,22 @@ pub fn fit_power(xs: &[f64], ys: &[f64]) -> PowerFit {
     let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
     let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
     let n = lx.len() as f64;
-    let sx: f64 = lx.iter().sum();
-    let sy: f64 = ly.iter().sum();
-    let sxx: f64 = lx.iter().map(|x| x * x).sum();
-    let sxy: f64 = lx.iter().zip(&ly).map(|(x, y)| x * y).sum();
+    let sx: f64 = lx.iter().sum(); // LINT: float-reduction-ok — fixed-order analytic reduction in slice order
+    let sy: f64 = ly.iter().sum(); // LINT: float-reduction-ok — fixed-order analytic reduction in slice order
+    let sxx: f64 = lx.iter().map(|x| x * x).sum(); // LINT: float-reduction-ok — fixed-order analytic reduction in slice order
+    let sxy: f64 = lx.iter().zip(&ly).map(|(x, y)| x * y).sum(); // LINT: float-reduction-ok — fixed-order analytic reduction in slice order
     let denom = n * sxx - sx * sx;
     assert!(denom.abs() > 1e-12, "x values are all equal");
     let b = (n * sxy - sx * sy) / denom;
     let c = (sy - b * sx) / n;
     // R² in log space
     let mean_y = sy / n;
-    let ss_tot: f64 = ly.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_tot: f64 = ly.iter().map(|y| (y - mean_y).powi(2)).sum(); // LINT: float-reduction-ok — fixed-order analytic reduction in slice order
     let ss_res: f64 = lx
         .iter()
         .zip(&ly)
         .map(|(x, y)| (y - (c + b * x)).powi(2))
-        .sum();
+        .sum(); // LINT: float-reduction-ok — fixed-order analytic reduction in slice order
     let r2 = if ss_tot > 0.0 {
         1.0 - ss_res / ss_tot
     } else {
@@ -129,6 +129,7 @@ pub fn shape_constant<F: Fn(f64) -> f64>(xs: &[f64], ys: &[f64], shape: F) -> f6
     assert_eq!(xs.len(), ys.len());
     assert!(!xs.is_empty());
     let ratios: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| y / shape(x)).collect();
+    // LINT: float-reduction-ok — fixed-order mean over one in-memory slice
     ratios.iter().sum::<f64>() / ratios.len() as f64
 }
 

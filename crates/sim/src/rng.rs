@@ -180,7 +180,9 @@ mod tests {
 
     #[test]
     fn trial_seeds_distinct() {
-        let seeds: std::collections::HashSet<u64> = (0..10_000).map(|i| trial_seed(7, i)).collect();
+        let mut seeds: Vec<u64> = (0..10_000).map(|i| trial_seed(7, i)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
         assert_eq!(seeds.len(), 10_000);
     }
 

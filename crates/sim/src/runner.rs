@@ -60,11 +60,15 @@ impl CancelToken {
     /// Requests cooperative cancellation (idempotent, callable from any
     /// thread).
     pub fn cancel(&self) {
+        // ORDERING: Relaxed — monotone flag; workers poll it and only ever
+        // observe false→true, so no ordering with other memory is needed
         self.0.store(true, Ordering::Relaxed);
     }
 
     /// Whether [`CancelToken::cancel`] has fired.
     pub fn is_cancelled(&self) -> bool {
+        // ORDERING: Relaxed — see cancel(); a late observation just runs one
+        // more chunk, which the deterministic merge already tolerates
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -674,7 +678,7 @@ fn build_record(spec: &ExperimentSpec, id: usize, a: &Active, error: Option<Stri
         n: a.cell.n(),
         measure: spec.cells[id].measure.label(),
         backend: spec.cells[id].family.backend.label().to_string(),
-        trials: a.merged.first().map_or(0, |o| o.count()),
+        trials: a.merged.first().map_or(0, super::stats::Online::count),
         stats: names
             .iter()
             .zip(&a.merged)

@@ -110,6 +110,8 @@ impl FamilySpec {
     pub fn resolve(&self) -> Result<ResolvedCell, CellError> {
         match self.backend {
             BackendSpec::Explicit => {
+                // LINT: rng-discipline-ok — graph_seed IS the spec-pinned stream id:
+                // the cell hash covers it, so the same spec always draws the same graph
                 let mut rng = crate::rng::Xoshiro256pp::new(self.graph_seed);
                 let inst = self.family.instance(self.size, &mut rng);
                 Ok(ResolvedCell {

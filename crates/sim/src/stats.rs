@@ -171,8 +171,11 @@ impl Summary {
     pub fn from_samples(samples: &[f64]) -> Summary {
         assert!(!samples.is_empty(), "empty sample");
         let n = samples.len();
+        // LINT: float-reduction-ok — two-pass reference implementation that
+        // Online is validated against; order fixed by the sample slice
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
+            // LINT: float-reduction-ok — same two-pass reference as the mean
             samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
         } else {
             0.0

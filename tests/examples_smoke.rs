@@ -48,7 +48,10 @@ fn all_examples_listed() {
         })
         .collect();
     on_disk.sort();
-    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    let mut listed: Vec<String> = EXAMPLES
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     listed.sort();
     assert_eq!(
         on_disk, listed,

@@ -1,0 +1,24 @@
+//! Tier-1 gate: the whole workspace must satisfy its determinism &
+//! concurrency contract (`dispersion-lint`). The same check runs as the
+//! lint crate's own `workspace_clean` test and as a CI job; duplicating it
+//! in the umbrella crate's test suite puts it on the shortest build-test
+//! path, so a contract violation fails `cargo test` at the root.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_satisfies_the_determinism_contract() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let findings = dispersion_lint::lint_workspace(&root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "dispersion-lint found {} violation(s) — run `cargo run -p dispersion-lint` \
+         for details:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
