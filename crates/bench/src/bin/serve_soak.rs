@@ -8,10 +8,16 @@
 //!
 //! `--jobs N` additionally soaks the server with `N` concurrent small
 //! jobs before the measurement (a quick liveness shake-out, not timed).
+//! `--shards K` runs the server in sharded mode — K real
+//! `dispersion-shard-worker` processes behind the front-end — and
+//! renames the row to `serve_sharded`; the 5% overhead gate applies only
+//! to the unsharded `serve_overhead` row (sharded runs pay for process
+//! transport and per-shard checkpoint fsyncs, and on a multi-core box
+//! also overlap cells across shards).
 //!
 //! ```text
 //! cargo run -p dispersion-bench --release --bin serve_soak -- \
-//!     [--trials 512] [--sizes 1024] [--jobs 16] [--format json]
+//!     [--trials 512] [--sizes 1024] [--jobs 16] [--shards 2] [--format json]
 //! ```
 
 use dispersion_bench::Options;
@@ -71,10 +77,26 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let shards: u64 = std::env::args()
+        .skip_while(|a| a != "--shards")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    // sharded mode needs a data directory for the per-shard checkpoints
+    let data_dir = (shards > 0).then(|| {
+        let dir = std::env::temp_dir().join(format!("serve_soak_bench_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create bench data dir");
+        dir
+    });
 
     // workers=1 so both paths burn exactly one core on the same work
+    // (with --shards, each shard worker owns one runner thread instead)
     let server = Server::start(ServerConfig {
         workers: 1,
+        shards,
+        data_dir: data_dir.clone(),
         ..ServerConfig::default()
     })
     .expect("start server");
@@ -140,7 +162,11 @@ fn main() {
         "records_per_sec",
     ]);
     t.push_row([
-        "serve_overhead".into(),
+        if shards > 0 {
+            "serve_sharded".into()
+        } else {
+            "serve_overhead".into()
+        },
         "clique".into(),
         n.to_string(),
         trials.to_string(),
@@ -152,7 +178,14 @@ fn main() {
     ]);
     print!("{}", opts.render(&t));
     if !opts.csv && opts.format == dispersion_bench::OutputFormat::Text {
-        println!("\n(byte-identical records on both paths; the gate is overhead under 5%)");
+        if shards > 0 {
+            println!("\n(byte-identical records on both paths; sharded rows are informational)");
+        } else {
+            println!("\n(byte-identical records on both paths; the gate is overhead under 5%)");
+        }
     }
     server.stop();
+    if let Some(dir) = data_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

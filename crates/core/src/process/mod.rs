@@ -30,7 +30,7 @@ pub struct ProcessConfig {
     /// (catches schedulers that cannot terminate).
     pub step_cap: u64,
     /// Walker threads *inside* one trial (the second level of parallelism;
-    /// the first is trials across the [`dispersion_sim`] runner). `1` runs
+    /// the first is trials across the `dispersion_sim` runner). `1` runs
     /// the classic serial engine; `> 1` routes round-structured schedules
     /// (Parallel) through [`crate::engine::partition`], which is
     /// bit-identical to the serial engine for every thread count — results

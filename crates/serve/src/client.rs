@@ -290,3 +290,85 @@ impl Client {
         }
     }
 }
+
+/// Capped exponential backoff with deterministic jitter, for retrying
+/// transient connection failures (the shard pool's reconnect loop uses
+/// it; embedders retrying [`Client`] calls can too).
+///
+/// The jitter is drawn from a SplitMix64 stream seeded by the caller
+/// (pass something role-distinct, e.g. the shard id), keeping retry
+/// schedules reproducible and de-synchronised across peers without
+/// touching any entropy source — the same RNG discipline the simulator
+/// follows.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    state: u64,
+    attempt: u32,
+    base: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// A fresh schedule: delays grow `base`, `2·base`, `4·base`, …
+    /// capped at `cap`, each scaled by a jitter factor in `[0.5, 1.0)`
+    /// from the `stream`-seeded SplitMix64 sequence.
+    pub fn new(stream: u64, base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            state: stream,
+            attempt: 0,
+            base,
+            cap,
+        }
+    }
+
+    /// The reconnect profile the shard pool uses: 50ms base, 2s cap.
+    pub fn reconnect(stream: u64) -> Backoff {
+        Backoff::new(stream, Duration::from_millis(50), Duration::from_secs(2))
+    }
+
+    /// Next delay in the schedule (advances the attempt counter).
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(16))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        // 53 uniform bits → factor in [0.5, 1.0): full jitter halves the
+        // worst-case thundering herd without ever shortening the base
+        let frac =
+            (dispersion_sim::rng::splitmix64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(0.5 + 0.5 * frac)
+    }
+
+    /// Forgets past failures (call after a successful attempt).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let mut a = Backoff::new(7, Duration::from_millis(50), Duration::from_secs(2));
+        let mut b = Backoff::new(7, Duration::from_millis(50), Duration::from_secs(2));
+        let da: Vec<Duration> = (0..12).map(|_| a.next_delay()).collect();
+        let db: Vec<Duration> = (0..12).map(|_| b.next_delay()).collect();
+        assert_eq!(da, db, "same stream, same schedule");
+        for (i, d) in da.iter().enumerate() {
+            let exp = Duration::from_millis(50)
+                .saturating_mul(1 << i.min(16))
+                .min(Duration::from_secs(2));
+            assert!(*d >= exp.mul_f64(0.5) && *d <= exp, "attempt {i}: {d:?}");
+        }
+        // a different stream jitters differently
+        let mut c = Backoff::new(8, Duration::from_millis(50), Duration::from_secs(2));
+        let dc: Vec<Duration> = (0..12).map(|_| c.next_delay()).collect();
+        assert_ne!(da, dc);
+        // reset rewinds the exponent, not the jitter stream
+        a.reset();
+        assert!(a.next_delay() <= Duration::from_millis(50));
+    }
+}

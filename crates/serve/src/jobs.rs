@@ -31,8 +31,23 @@
 //! always draws from the same `(seed, cell, trial)`-derived RNG stream,
 //! the records a restarted server appends are byte-identical to the ones
 //! the killed server would have written.
+//!
+//! # Sharded mode
+//!
+//! With `shards = k > 0` ([`JobStore::open_with_shards`]) no in-process
+//! workers run; instead a [`ShardPool`] of `k` worker *processes* owns
+//! the cells (`cell mod k == shard`) and the store becomes the merge
+//! front-end: `Record` frames land through
+//! [`JobStore::complete_from_shard`], which publishes them into the same
+//! per-cell slots the blocking [`JobStore::next_record`] iterator reads —
+//! so the stream a client sees is byte-identical at any `k`, including 0.
+//! Durability moves with the work: each worker appends to its own
+//! `job-<id>.shard<i>.ndjson` before streaming, the front-end writes no
+//! `job-<id>.ndjson` of its own, and the re-scan restores from both
+//! layouts (`k` may even change across restarts).
 
 use crate::metrics::Metrics;
+use crate::shard::{self, ShardPool};
 use crate::spec_json;
 use dispersion_sim::runner::{run_cell, CancelToken};
 use dispersion_sim::sink::{parse_ndjson_lossy, Event, Record, Sink};
@@ -42,7 +57,7 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 
 /// Why a submission was rejected.
@@ -165,6 +180,12 @@ pub struct JobStore {
     pub metrics: Arc<Metrics>,
     data_dir: Option<PathBuf>,
     max_live: usize,
+    /// Shard count `k`; 0 = in-process worker threads (the default).
+    shards: u64,
+    /// The shard pool to notify on submit/cancel in sharded mode. `Weak`
+    /// breaks the `JobStore ↔ ShardPool` reference cycle; the pool
+    /// registers itself via [`JobStore::set_dispatch`] at startup.
+    dispatch: Mutex<Option<Weak<ShardPool>>>,
 }
 
 /// What a worker claimed: everything needed to run one cell without
@@ -231,6 +252,23 @@ impl JobStore {
         max_live: usize,
         metrics: Arc<Metrics>,
     ) -> io::Result<Arc<JobStore>> {
+        Self::open_with_shards(data_dir, max_live, metrics, 0)
+    }
+
+    /// [`JobStore::open`] with a shard count: `shards = 0` is today's
+    /// in-process worker pool, `shards = k > 0` makes this store the
+    /// merge front-end of a `k`-process [`ShardPool`] (which must be
+    /// started separately and registered via [`JobStore::set_dispatch`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`JobStore::open`].
+    pub fn open_with_shards(
+        data_dir: Option<PathBuf>,
+        max_live: usize,
+        metrics: Arc<Metrics>,
+        shards: u64,
+    ) -> io::Result<Arc<JobStore>> {
         let mut store = Store {
             jobs: BTreeMap::new(),
             next_id: 1,
@@ -271,7 +309,30 @@ impl JobStore {
             metrics,
             data_dir,
             max_live: max_live.max(1),
+            shards,
+            dispatch: Mutex::new(None),
         }))
+    }
+
+    /// The shard count this store was opened with (0 = in-process mode).
+    pub fn shards(&self) -> u64 {
+        self.shards
+    }
+
+    /// Registers the shard pool that submit/cancel should fan out to.
+    pub fn set_dispatch(&self, pool: &Arc<ShardPool>) {
+        *self.dispatch.lock().unwrap() = Some(Arc::downgrade(pool));
+    }
+
+    /// The registered pool, if it is still alive. The dispatch lock is
+    /// released before the returned pool is used, so pool methods can
+    /// take the store lock freely.
+    fn pool(&self) -> Option<Arc<ShardPool>> {
+        self.dispatch
+            .lock()
+            .unwrap()
+            .as_ref()
+            .and_then(Weak::upgrade)
     }
 
     /// Accepts a spec into the queue and returns its job id. The spec is
@@ -302,10 +363,16 @@ impl JobStore {
                 .map_err(|e| SubmitError::Persist(e.to_string()))?;
         }
         st.next_id += 1;
-        st.jobs.insert(id, Job::new(spec));
+        st.jobs.insert(id, Job::new(Arc::clone(&spec)));
         Metrics::bump(&self.metrics.jobs_submitted, 1);
         drop(st);
         self.cv.notify_all();
+        // Fan the job out to the shard workers (no store lock held). If a
+        // shard is down right now, its supervisor re-assigns every live
+        // job on reconnect, so this is best-effort by design.
+        if let Some(pool) = self.pool() {
+            pool.assign_job(id, &spec_json::spec_to_json(&spec));
+        }
         Ok(id)
     }
 
@@ -331,6 +398,9 @@ impl JobStore {
         }
         drop(st);
         self.cv.notify_all();
+        if let Some(pool) = self.pool() {
+            pool.cancel_job(id);
+        }
         true
     }
 
@@ -365,16 +435,67 @@ impl JobStore {
                 ),
             };
             total_trials += trials;
+            let placement = if self.shards > 0 {
+                format!(",\"shard\":{}", i as u64 % self.shards)
+            } else {
+                String::new()
+            };
             s.push_str(&format!(
-                "{{\"cell\":{i},\"state\":\"{state}\",\"trials\":{trials},\"error\":{}}}",
+                "{{\"cell\":{i},\"state\":\"{state}\",\"trials\":{trials},\"error\":{}{placement}}}",
                 match error {
                     None => "null".to_string(),
                     Some(e) => dispersion_sim::json::fmt_str(e),
                 }
             ));
         }
-        s.push_str(&format!("],\"trials\":{total_trials}}}"));
+        s.push_str(&format!("],\"trials\":{total_trials}"));
+        if self.shards > 0 {
+            s.push_str(&format!(",\"shards\":{}", self.shards));
+            if let Some(pool) = self.pool() {
+                s.push_str(",\"shard_states\":[");
+                for (i, up) in pool.shard_states().iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(if *up { "\"up\"" } else { "\"down\"" });
+                }
+                s.push(']');
+            }
+        }
+        s.push('}');
         Some(s)
+    }
+
+    /// The job list document (`GET /jobs`): every known job's id, status,
+    /// cell count, open-cell count — and, in sharded mode, each job's
+    /// shard placement (`cell mod k` for its cells).
+    pub fn list_json(&self) -> String {
+        let st = self.state.lock().unwrap();
+        let mut s = String::from("{\"jobs\":[");
+        for (i, (id, job)) in st.jobs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"id\":{id},\"status\":\"{}\",\"cells\":{},\"open_cells\":{}",
+                job.status_label(),
+                job.cells.len(),
+                job.open_cells()
+            ));
+            if self.shards > 0 {
+                s.push_str(",\"shards\":[");
+                for c in 0..job.cells.len() {
+                    if c > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("{}", c as u64 % self.shards));
+                }
+                s.push(']');
+            }
+            s.push('}');
+        }
+        s.push_str(&format!("],\"shards\":{}}}", self.shards));
+        s
     }
 
     /// Gauges for `/metrics`: `(live jobs, open cells across live jobs)`.
@@ -479,6 +600,115 @@ impl JobStore {
         self.cv.notify_all();
     }
 
+    /// Lands a record streamed back by a shard worker. Duplicates (a
+    /// reconnect replay, or a resume offset made conservative by a shard
+    /// count change) are ignored — first write per cell wins — and so are
+    /// records whose `(cell, key)` fingerprint does not match the spec.
+    /// The front-end writes no checkpoint of its own here: the worker's
+    /// shard file, appended *before* the frame was sent, is the
+    /// durability.
+    pub fn complete_from_shard(&self, id: u64, line: &str) {
+        let Ok(record) = Record::from_json_line(line) else {
+            eprintln!("# serve: job {id}: unparseable shard record dropped");
+            return;
+        };
+        let mut st = self.state.lock().unwrap();
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return;
+        };
+        let cell = record.cell;
+        if cell >= job.spec.len()
+            || job.spec.cell_key(cell) != record.key
+            || matches!(job.cells[cell], Cell::Done { .. })
+        {
+            return;
+        }
+        let durable = !job.cancelled;
+        // ORDERING: Relaxed — final gauge sync; the authoritative record is
+        // the Cell::Done written under this same store lock
+        job.live_trials[cell].store(record.trials, Ordering::Relaxed);
+        job.cells[cell] = Cell::Done { record, durable };
+        Metrics::bump(&self.metrics.cells_completed, 1);
+        if job.open_cells() == 0 && !job.cancelled {
+            Metrics::bump(&self.metrics.jobs_completed, 1);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Marks a cell as running (a shard worker's `Started` frame).
+    pub fn shard_started(&self, id: u64, cell: usize) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(job) = st.jobs.get_mut(&id) {
+            if cell < job.cells.len() && matches!(job.cells[cell], Cell::Pending) {
+                job.cells[cell] = Cell::Running;
+            }
+        }
+    }
+
+    /// Books chunk-grained progress from a shard worker (`Progress`
+    /// frames carry per-chunk deltas, exactly like in-process sinks).
+    pub fn shard_progress(&self, id: u64, cell: usize, trials: u64, steps: u64) {
+        let st = self.state.lock().unwrap();
+        if let Some(job) = st.jobs.get(&id) {
+            if cell < job.live_trials.len() {
+                // ORDERING: Relaxed — progress gauge only; see WorkerSink
+                job.live_trials[cell].fetch_add(trials, Ordering::Relaxed);
+            }
+        }
+        drop(st);
+        Metrics::bump(&self.metrics.trials_total, trials);
+        Metrics::bump(&self.metrics.steps_total, steps);
+    }
+
+    /// The resume offset for one shard of one job: how many of the
+    /// shard's owned records (ascending cell order) this front-end
+    /// already holds as a durable prefix. Sent in `Assign` so a restarted
+    /// worker skips re-streaming them.
+    pub fn shard_resume(&self, id: u64, shard_id: u64) -> u64 {
+        let st = self.state.lock().unwrap();
+        let Some(job) = st.jobs.get(&id) else {
+            return 0;
+        };
+        let mut n = 0;
+        for cell in shard::owned_cells(job.cells.len(), shard_id, self.shards) {
+            match &job.cells[cell] {
+                Cell::Done { durable: true, .. } => n += 1,
+                _ => break, // strictly the leading prefix
+            }
+        }
+        n
+    }
+
+    /// Snapshot of the jobs a (re)connected shard worker must be told
+    /// about: every non-cancelled job with open cells, as
+    /// `(id, canonical spec JSON)`.
+    pub fn live_assignments(&self) -> Vec<(u64, String)> {
+        let st = self.state.lock().unwrap();
+        st.jobs
+            .iter()
+            .filter(|(_, job)| job.is_live())
+            .map(|(id, job)| (*id, spec_json::spec_to_json(&job.spec)))
+            .collect()
+    }
+
+    /// Fsyncs every file in the data directory (graceful-shutdown tail:
+    /// the per-record writes are flushed but not synced, trading
+    /// torn-final-line recovery for throughput during normal operation).
+    pub fn sync_checkpoints(&self) {
+        let Some(dir) = &self.data_dir else { return };
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            if entry.file_type().is_ok_and(|t| t.is_file()) {
+                if let Ok(f) = fs::File::open(entry.path()) {
+                    let _ = f.sync_all();
+                }
+            }
+        }
+    }
+
     /// Spawns `n` worker threads draining the queue until [`JobStore::stop`].
     pub fn start_workers(self: &Arc<Self>, n: usize) -> Vec<JoinHandle<()>> {
         (0..n.max(1))
@@ -539,6 +769,49 @@ fn load_job(dir: &Path, id: u64, metrics: &Metrics) -> Result<Job, String> {
             fs::write(&ck, &text[..tail.offset])
                 .map_err(|e| format!("cannot truncate torn checkpoint: {e}"))?;
         }
+        for r in records {
+            let cell = r.cell;
+            if cell < job.spec.len()
+                && job.spec.cell_key(cell) == r.key
+                && !matches!(job.cells[cell], Cell::Done { .. })
+            {
+                // ORDERING: Relaxed — resume-time gauge backfill under the
+                // store lock, before any worker threads exist
+                job.live_trials[cell].store(r.trials, Ordering::Relaxed);
+                job.cells[cell] = Cell::Done {
+                    record: r,
+                    durable: true,
+                };
+                Metrics::bump(&metrics.cells_resumed, 1);
+            }
+        }
+    }
+    // Shard-mode checkpoints: `job-<id>.shard<i>.ndjson`, one per worker
+    // process. Found by directory listing, so the restore works at any —
+    // even a changed — shard count; a conservative resume offset plus the
+    // workers' duplicate-tolerant streaming covers the difference.
+    let prefix = format!("job-{id}.shard");
+    let mut shard_files: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("data dir unlistable: {e}"))?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".ndjson"))
+        })
+        .collect();
+    shard_files.sort();
+    for path in shard_files {
+        let records = match shard::read_checkpoint(&path) {
+            Ok(r) => r,
+            Err(e) => {
+                // one foreign/corrupt shard file only costs re-running its
+                // cells (the owning worker resets it on Assign)
+                eprintln!("# serve: job {id}: skipping {}: {e}", path.display());
+                continue;
+            }
+        };
         for r in records {
             let cell = r.cell;
             if cell < job.spec.len()

@@ -13,16 +13,21 @@
 //!   NDJSON checkpoint durability, blocking record streams;
 //! * [`metrics`] — `/metrics` text exposition counters;
 //! * [`server`] — socket front-end and routing;
-//! * [`client`] — a small blocking client (tests, soak, benches).
+//! * [`shard`] — multi-process shard fabric: worker protocol, worker
+//!   session loop, coordinator pool (`--shards k`);
+//! * [`client`] — a small blocking client (tests, soak, benches) plus
+//!   deterministic reconnect [`client::Backoff`].
 //!
 //! ## API sketch
 //!
 //! | Endpoint | Effect |
 //! |---|---|
 //! | `POST /jobs` | spec JSON → `201 {"id":N,"cells":M}` |
+//! | `GET /jobs` | list job ids, states, shard placement |
 //! | `GET /jobs/<id>` | status + per-cell trial counts |
 //! | `GET /jobs/<id>/records` | chunked NDJSON stream, `Last-Record` resume |
 //! | `DELETE /jobs/<id>` | cooperative cancel |
+//! | `POST /shutdown` | ask the process to drain and exit |
 //! | `GET /healthz`, `GET /metrics` | liveness, counters |
 //!
 //! Determinism contract: a job's record stream is **byte-identical** to
@@ -40,6 +45,7 @@ pub mod http;
 pub mod jobs;
 pub mod metrics;
 pub mod server;
+pub mod shard;
 pub mod spec_json;
 
 pub use client::Client;

@@ -31,6 +31,8 @@ pub struct Metrics {
     pub steps_total: AtomicU64,
     /// HTTP requests handled.
     pub http_requests: AtomicU64,
+    /// Record lines written to `GET /jobs/<id>/records` streams.
+    pub records_streamed: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -46,6 +48,7 @@ impl Default for Metrics {
             trials_total: AtomicU64::new(0),
             steps_total: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
+            records_streamed: AtomicU64::new(0),
         }
     }
 }
@@ -158,6 +161,11 @@ impl Metrics {
             "HTTP requests handled.",
             get(&self.http_requests).to_string(),
         );
+        line(
+            "serve_records_streamed_total",
+            "Record lines written to /jobs/<id>/records streams.",
+            get(&self.records_streamed).to_string(),
+        );
         s
     }
 }
@@ -183,6 +191,7 @@ mod tests {
             "serve_trials_per_second",
             "serve_steps_per_second",
             "serve_http_requests_total 0",
+            "serve_records_streamed_total 0",
         ] {
             assert!(text.contains(series), "missing {series}:\n{text}");
         }

@@ -1,0 +1,122 @@
+//! The multi-process shard fabric: cell placement, the wire protocol,
+//! the headless shard worker, and the front-end coordinator pool.
+//!
+//! # Placement
+//!
+//! With `--shards k`, cell `c` of every job belongs to the worker process
+//! with `shard_id = c mod k`. Placement is **output-invisible**: trial
+//! `t` of cell `c` always draws from the RNG stream
+//! `Xoshiro256pp::new(trial_seed(master(c), t))`, so which process runs a
+//! cell (like which thread, and like whether it was resumed from a
+//! checkpoint) cannot change a single byte of its record. The front-end
+//! merges the `k` per-shard record streams back into global cell order
+//! with the same blocking per-cell iterator the in-process pool uses, so
+//! clients cannot tell `k = 1` from `k = 4` — or from `k = 0`.
+//!
+//! # Pieces
+//!
+//! * [`proto`] — length-prefixed frames (`Hello`/`Assign`/`Record`/…)
+//!   over one persistent TCP connection per shard;
+//! * [`worker`] — the headless worker loop behind the
+//!   `dispersion-shard-worker` binary (also runnable in-thread by tests);
+//! * [`pool`] — the coordinator: spawns/adopts `k` workers, re-assigns
+//!   live jobs after a crash with a `Resume` offset, feeds records back
+//!   into the [`JobStore`](crate::jobs::JobStore).
+//!
+//! # Shard checkpoint files
+//!
+//! Each worker persists its own `job-<id>.shard<i>.ndjson` next to the
+//! front-end's files: its owned records in ascending cell order, appended
+//! and flushed before the record is ever streamed. A restarted worker (or
+//! a restarted front-end) replays whole records and truncates a torn
+//! final line — the same durability contract `job-<id>.ndjson` has in
+//! `k = 0` mode, extended across the process boundary.
+
+pub mod pool;
+pub mod proto;
+pub mod worker;
+
+pub use pool::{ShardLaunch, ShardPool};
+
+use dispersion_sim::sink::{parse_ndjson_lossy, Record};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Does shard `shard` (of `shards`) own cell `cell`?
+pub fn owns(cell: usize, shard: u64, shards: u64) -> bool {
+    shards > 0 && cell as u64 % shards == shard
+}
+
+/// The cells of an `n_cells`-cell job owned by `shard`, ascending.
+pub fn owned_cells(n_cells: usize, shard: u64, shards: u64) -> Vec<usize> {
+    (0..n_cells).filter(|&c| owns(c, shard, shards)).collect()
+}
+
+/// The checkpoint file shard `shard` keeps for job `id`.
+pub fn shard_ckpt_path(dir: &Path, id: u64, shard: u64) -> PathBuf {
+    dir.join(format!("job-{id}.shard{shard}.ndjson"))
+}
+
+/// Reads an NDJSON checkpoint file, truncating a torn *final* line in
+/// place (the expected crash shape — its cell simply re-runs). A missing
+/// file is an empty checkpoint.
+///
+/// # Errors
+///
+/// Unreadable files, failed truncation, and interior garbage (a torn
+/// line followed by more lines means the file is foreign or corrupt, not
+/// crash-cut).
+pub fn read_checkpoint(path: &Path) -> Result<Vec<Record>, String> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text = fs::read_to_string(path).map_err(|e| format!("checkpoint unreadable: {e}"))?;
+    let (records, tail) = parse_ndjson_lossy(&text);
+    if let Some(tail) = tail {
+        if text[tail.offset..].trim_end().contains('\n') {
+            return Err(format!(
+                "checkpoint corrupt at line {}: {}",
+                tail.line, tail.error
+            ));
+        }
+        eprintln!(
+            "# serve: {}: dropping torn final checkpoint line {} ({})",
+            path.display(),
+            tail.line,
+            tail.error
+        );
+        fs::write(path, &text[..tail.offset])
+            .map_err(|e| format!("cannot truncate torn checkpoint: {e}"))?;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_mod_k() {
+        assert_eq!(owned_cells(6, 0, 2), vec![0, 2, 4]);
+        assert_eq!(owned_cells(6, 1, 2), vec![1, 3, 5]);
+        assert_eq!(owned_cells(5, 3, 4), vec![3]);
+        assert_eq!(owned_cells(3, 3, 4), Vec::<usize>::new());
+        assert!(!owns(0, 0, 0), "k = 0 owns nothing (in-process mode)");
+        // every cell owned by exactly one shard
+        for n in [1usize, 5, 16] {
+            for k in [1u64, 2, 3, 7] {
+                for c in 0..n {
+                    let owners = (0..k).filter(|&s| owns(c, s, k)).count();
+                    assert_eq!(owners, 1, "cell {c} of {n} at k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_checkpoint_is_empty() {
+        let p = std::env::temp_dir().join("serve_shard_no_such_file.ndjson");
+        let _ = fs::remove_file(&p);
+        assert_eq!(read_checkpoint(&p).unwrap(), Vec::<Record>::new());
+    }
+}

@@ -104,7 +104,8 @@ fn healthz_metrics_and_error_paths() {
     for (method, path) in [
         ("DELETE", "/healthz"),
         ("POST", "/metrics"),
-        ("GET", "/jobs"),
+        ("DELETE", "/jobs"),
+        ("GET", "/shutdown"),
         ("POST", "/jobs/1/records"),
     ] {
         let resp = client.request(method, path, &[], b"").unwrap();
@@ -169,6 +170,50 @@ fn stream_is_bit_identical_to_in_process_runner_and_resumes() {
         assert_eq!(cell.get("state").and_then(Json::as_str), Some("done"));
         assert_eq!(cell.get("trials").and_then(Json::as_u64), Some(16));
     }
+
+    server.stop();
+}
+
+#[test]
+fn job_list_and_shutdown_endpoints() {
+    let (server, client) = start(ServerConfig::default());
+
+    // empty list before any submission
+    let resp = client.request("GET", "/jobs", &[], b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = Json::parse(&resp.text()).unwrap();
+    assert_eq!(
+        doc.get("jobs").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(0)
+    );
+    assert_eq!(doc.get("shards").and_then(Json::as_u64), Some(0));
+
+    let spec = small_spec(11);
+    let id = client.submit(&spec_to_json(&spec)).unwrap();
+    client
+        .wait_for(id, &["done"], Duration::from_secs(5))
+        .unwrap();
+
+    let resp = client.request("GET", "/jobs", &[], b"").unwrap();
+    let doc = Json::parse(&resp.text()).unwrap();
+    let jobs = doc.get("jobs").and_then(Json::as_arr).unwrap();
+    assert_eq!(jobs.len(), 1);
+    assert_eq!(jobs[0].get("id").and_then(Json::as_u64), Some(id));
+    assert_eq!(jobs[0].get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(
+        jobs[0].get("cells").and_then(Json::as_u64),
+        Some(spec.len() as u64)
+    );
+    assert_eq!(jobs[0].get("open_cells").and_then(Json::as_u64), Some(0));
+    // no shard placement in unsharded mode
+    assert!(jobs[0].get("shards").is_none());
+
+    // POST /shutdown flips the drain flag the binary's main loop polls
+    assert!(!server.shutdown_requested());
+    let resp = client.request("POST", "/shutdown", &[], b"").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("\"stopping\":true"), "{}", resp.text());
+    assert!(server.shutdown_requested());
 
     server.stop();
 }

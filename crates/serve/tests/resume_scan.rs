@@ -127,6 +127,131 @@ fn every_crash_point_resumes_to_identical_ndjson() {
     let _ = std::fs::remove_dir_all(&ref_dir);
 }
 
+/// Sharded layout: the re-scan must restore from `job-1.shard<i>.ndjson`
+/// files cut at *every* pair of record boundaries (plus a torn final
+/// line), re-run only the missing cells, and serve a byte-identical
+/// stream. The store runs in-process workers here — the restore path is
+/// what's under test, and it is shared with the live fabric.
+#[test]
+fn sharded_checkpoints_resume_at_every_record_boundary() {
+    // reference lines (stream order = cell order)
+    let ref_dir = fresh_dir("shref");
+    let (_, ref_lines) = run_to_completion(&ref_dir);
+    let spec_file = std::fs::read_to_string(ref_dir.join("job-1.spec.json")).unwrap();
+
+    // shard i's checkpoint holds its owned cells (cell mod 2 == i) in
+    // ascending cell order — exactly what a single worker session writes
+    let owned: [Vec<&str>; 2] = [
+        ref_lines.iter().step_by(2).map(String::as_str).collect(),
+        ref_lines
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(String::as_str)
+            .collect(),
+    ];
+    let shard_file = |shard: usize, records: usize| -> String {
+        owned[shard][..records]
+            .iter()
+            .map(|l| format!("{l}\n"))
+            .collect()
+    };
+
+    for n0 in 0..=owned[0].len() {
+        for n1 in 0..=owned[1].len() {
+            let dir = fresh_dir(&format!("shcut{n0}_{n1}"));
+            std::fs::write(dir.join("job-1.spec.json"), &spec_file).unwrap();
+            std::fs::write(dir.join("job-1.shard0.ndjson"), shard_file(0, n0)).unwrap();
+            let mut f1 = shard_file(1, n1);
+            if n1 < owned[1].len() {
+                // torn final line: must be ignored, not restored
+                f1.push_str(&owned[1][n1][..owned[1][n1].len() / 2]);
+            }
+            std::fs::write(dir.join("job-1.shard1.ndjson"), f1).unwrap();
+
+            let metrics = Arc::new(Metrics::new());
+            let store = JobStore::open_with_shards(Some(dir.clone()), 8, metrics, 2).unwrap();
+            assert_eq!(
+                store
+                    .metrics
+                    .cells_resumed
+                    .load(std::sync::atomic::Ordering::Relaxed),
+                (n0 + n1) as u64,
+                "cut ({n0},{n1}): wrong restore count"
+            );
+            // finish the missing cells with in-process workers (the
+            // restore path, not the transport, is under test here)
+            let workers = store.start_workers(1);
+            let mut lines = Vec::new();
+            let mut k = 0;
+            loop {
+                match store.next_record(1, k) {
+                    NextRecord::Line(line) => {
+                        lines.push(line);
+                        k += 1;
+                    }
+                    NextRecord::End => break,
+                    NextRecord::NotFound => panic!("job 1 missing"),
+                }
+            }
+            assert_eq!(lines, ref_lines, "cut ({n0},{n1}) diverged");
+            store.stop();
+            for w in workers {
+                w.join().unwrap();
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// A corrupt *shard* checkpoint only costs its own cells a re-run — the
+/// job itself stays loadable (unlike interior corruption of the k = 0
+/// `job-<id>.ndjson`, which skips the whole job).
+#[test]
+fn corrupt_shard_checkpoint_reruns_only_its_cells() {
+    let ref_dir = fresh_dir("shcorrupt_ref");
+    let (_, ref_lines) = run_to_completion(&ref_dir);
+    let spec_file = std::fs::read_to_string(ref_dir.join("job-1.spec.json")).unwrap();
+
+    let dir = fresh_dir("shcorrupt");
+    std::fs::write(dir.join("job-1.spec.json"), &spec_file).unwrap();
+    // shard 0: interior garbage; shard 1: healthy (cells 1 and 3)
+    std::fs::write(dir.join("job-1.shard0.ndjson"), "garbage\n{\"also\": bad\n").unwrap();
+    let healthy: String = ref_lines
+        .iter()
+        .skip(1)
+        .step_by(2)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(dir.join("job-1.shard1.ndjson"), healthy).unwrap();
+
+    let store =
+        JobStore::open_with_shards(Some(dir.clone()), 8, Arc::new(Metrics::new()), 2).unwrap();
+    assert_eq!(
+        store
+            .metrics
+            .cells_resumed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        2,
+        "healthy shard file not restored"
+    );
+    let workers = store.start_workers(1);
+    let mut lines = Vec::new();
+    let mut k = 0;
+    while let NextRecord::Line(line) = store.next_record(1, k) {
+        lines.push(line);
+        k += 1;
+    }
+    assert_eq!(lines, ref_lines, "stream after corrupt shard diverged");
+    store.stop();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
 #[test]
 fn corrupt_interior_or_spec_skips_that_job_only() {
     let dir = fresh_dir("corrupt");

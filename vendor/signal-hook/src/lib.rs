@@ -1,0 +1,122 @@
+//! Minimal offline stand-in for `signal-hook`: flag registration only.
+//!
+//! Only the surface this workspace uses is provided: [`flag::register`],
+//! which arranges for an `Arc<AtomicBool>` to flip to `true` when a Unix
+//! signal arrives, plus the [`consts`] signal numbers. The handler does
+//! nothing else — no forwarding, no default re-raise — which is exactly
+//! the "poll a flag from your main loop" graceful-shutdown idiom.
+//!
+//! This is the one crate in the tree that needs `unsafe`: installing a
+//! signal handler is an FFI call, and the handler body itself must be
+//! async-signal-safe. The handler here performs a single atomic load and
+//! a single atomic store (both async-signal-safe); the `Arc` passed to
+//! `register` is leaked into a process-global slot so the handler never
+//! touches the allocator or a lock.
+
+#![warn(missing_docs)]
+
+/// Signal numbers (Linux/x86-64 values, which match every platform this
+/// workspace targets).
+pub mod consts {
+    /// Termination request (`kill <pid>`, the polite shutdown).
+    pub const SIGTERM: i32 = 15;
+    /// Interactive interrupt (Ctrl-C).
+    pub const SIGINT: i32 = 2;
+}
+
+/// Register an `Arc<AtomicBool>` to be set when a signal arrives.
+pub mod flag {
+    use std::io;
+    use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+    use std::sync::Arc;
+
+    /// Highest signal number (exclusive) a flag may be registered for.
+    const MAX_SIGNAL: usize = 32;
+
+    #[allow(clippy::declare_interior_mutable_const)] // const used only as array initialiser
+    const EMPTY_SLOT: AtomicPtr<AtomicBool> = AtomicPtr::new(std::ptr::null_mut());
+    /// One slot per signal number; `register` leaks the caller's `Arc`
+    /// into its slot so the handler can reach the flag without touching
+    /// the allocator.
+    static SLOTS: [AtomicPtr<AtomicBool>; MAX_SIGNAL] = [EMPTY_SLOT; MAX_SIGNAL];
+
+    extern "C" {
+        /// libc `signal(2)`. The handler is passed as a plain address so
+        /// no function-pointer type crosses the FFI boundary; glibc
+        /// installs it with BSD (`SA_RESTART`) semantics, which is what a
+        /// polled flag wants.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" fn on_signal(signum: i32) {
+        if let Some(slot) = SLOTS.get(signum as usize) {
+            // Async-signal-safe: one atomic load, one atomic store.
+            let flag = slot.load(Ordering::SeqCst);
+            if !flag.is_null() {
+                // SAFETY: the pointer was produced by `Arc::into_raw` in
+                // `register` and intentionally leaked, so it stays valid
+                // for the life of the process.
+                unsafe { (*flag).store(true, Ordering::SeqCst) };
+            }
+        }
+    }
+
+    /// Arranges for `flag` to become `true` when `signal` arrives.
+    /// Registering a second flag for the same signal replaces the first.
+    ///
+    /// # Errors
+    ///
+    /// An out-of-range signal number or a rejected `signal(2)` call.
+    pub fn register(signum: i32, flag: Arc<AtomicBool>) -> io::Result<()> {
+        let slot = usize::try_from(signum)
+            .ok()
+            .and_then(|s| SLOTS.get(s))
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("signal {signum}"))
+            })?;
+        // Leak one Arc per registration (bounded: once per signal per
+        // process) so the handler-side pointer can never dangle.
+        // A replaced flag stays leaked as well: the handler may be
+        // concurrently reading it, and shutdown flags are tiny.
+        let raw = Arc::into_raw(flag).cast_mut();
+        slot.swap(raw, Ordering::SeqCst);
+        // SAFETY: `on_signal` only performs async-signal-safe atomic ops,
+        // and is passed by address as `signal(2)` expects.
+        let rc = unsafe { signal(signum, on_signal as *const () as usize) };
+        if rc == SIG_ERR {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn raised_signal_sets_flag() {
+        // SIGUSR1 (10) so the test harness's own INT/TERM handling is
+        // untouched.
+        let flag = Arc::new(AtomicBool::new(false));
+        flag::register(10, Arc::clone(&flag)).unwrap();
+        assert!(!flag.load(Ordering::SeqCst));
+        unsafe { raise(10) };
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn out_of_range_signal_is_rejected() {
+        let flag = Arc::new(AtomicBool::new(false));
+        assert!(flag::register(99, Arc::clone(&flag)).is_err());
+        assert!(flag::register(-1, flag).is_err());
+    }
+}
